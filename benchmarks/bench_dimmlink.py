@@ -1,0 +1,62 @@
+"""Extension experiment: NDPBridge in tandem with DIMM-Link.
+
+Section V-A notes that the level-2 bridge can alternatively use
+peer-to-peer inter-DIMM links (DIMM-Link [89]) or broadcast links
+(ABC-DIMM [73]) instead of host-forwarded channel traffic -- "NDPBridge
+is orthogonal to and can work in tandem with them."  This bench measures
+that combination on a multi-rank system: cross-rank messages ride
+dedicated 25 GB/s p2p ports instead of the shared DDR channels.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import Design
+
+from .common import bench_config, format_table, geomean, run_one
+
+APPS = ["tree", "bfs", "pr"]
+UNITS = 256  # multi-rank so cross-rank traffic exists
+
+
+def _config(links: bool):
+    # Design B isolates the communication path; O's balancer reacts to
+    # transport speed and would confound the comparison.
+    cfg = bench_config(Design.B, units=UNITS)
+    return cfg.replace(comm=replace(cfg.comm, inter_rank_links=links))
+
+
+def _run():
+    results = {}
+    for variant, links in (("channel", False), ("dimm-link", True)):
+        cfg = _config(links)
+        for app in APPS:
+            results[(variant, app)] = run_one(app, Design.B, config=cfg)
+    return results
+
+
+def test_dimmlink_tandem(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    rows = []
+    for app in APPS:
+        rows.append([
+            app,
+            results[("channel", app)].makespan,
+            results[("dimm-link", app)].makespan,
+            results[("channel", app)].makespan
+            / results[("dimm-link", app)].makespan,
+        ])
+    gm = geomean(
+        results[("channel", app)].makespan
+        / results[("dimm-link", app)].makespan
+        for app in APPS
+    )
+    rows.append(["geomean", "", "", gm])
+    print(format_table(
+        "NDPBridge + DIMM-Link p2p inter-rank links (B, 256 units)",
+        ["app", "channel cycles", "p2p cycles", "speedup"], rows,
+    ))
+    # Shape: dedicated links never hurt cross-rank communication.
+    assert gm >= 0.98

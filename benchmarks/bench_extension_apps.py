@@ -1,0 +1,48 @@
+"""Extension applications under the design matrix.
+
+Four workloads beyond the paper's evaluated eight, built on the same
+public API: the paper's own Section-IV stencil illustration, a
+Zipf-skewed histogram (the minimal hub-contention pattern), a two-phase
+hash join (the databases the intro motivates), and triangle counting
+(graph mining with fat adjacency payloads).  Together they bracket the
+design space: communication-regular (stencil), serial-hot-element
+(histogram), bulk-synchronous two-phase (join), and payload-heavy (tc).
+"""
+
+import pytest
+
+from repro.config import Design
+
+from .common import format_table, geomean, run_matrix, speedups_vs
+
+DESIGNS = [Design.C, Design.B, Design.W, Design.O]
+APPS = ["stencil", "hist", "join", "tc"]
+
+
+def _run():
+    return run_matrix(APPS, DESIGNS)
+
+
+def test_extension_apps(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    speedups = speedups_vs(results, "C")
+    rows = [
+        [app] + [speedups[app][d.value] for d in DESIGNS] for app in APPS
+    ]
+    print(format_table(
+        "Extension apps - speedup over design C",
+        ["app", "C", "B", "W", "O"], rows,
+    ))
+
+    # Stencil communicates across every partition boundary each step, and
+    # triangle counting ships adjacency payloads everywhere: the bridges
+    # must beat host forwarding on both.
+    assert speedups["stencil"]["B"] > 1.0
+    assert speedups["tc"]["B"] > 1.0
+    # The two-phase join is communication-free under static assignment
+    # (tuples are seeded at their bucket's home): B == C.
+    assert abs(speedups["join"]["B"] - 1.0) < 0.05
+    # Histogram's hub bins serialize wherever they live: balancing cannot
+    # win big, but the data-transfer-aware policy must not melt down.
+    assert speedups["hist"]["O"] >= 0.5 * speedups["hist"]["B"]

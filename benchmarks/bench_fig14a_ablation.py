@@ -1,0 +1,67 @@
+"""Fig. 14(a): ablation of the data-transfer-aware techniques.
+
+Starting from W (traditional work stealing with workload correction), the
+paper applies each optimization alone -- +Adv (in-advance scheduling to
+hide latency, +4.6%), +Fine (fine-grained stealing to avoid congestion,
+1.19x), +Hot (hot data/task selection to reduce traffic, 1.29x) -- and all
+together as O (1.35x over W).
+"""
+
+import pytest
+
+from repro.config import Design, ablation_config
+
+from .common import (
+    ALL_APPS,
+    BENCH_UNITS,
+    bench_config,
+    format_table,
+    geomean,
+    run_one,
+)
+
+VARIANTS = [
+    ("W", dict(advance_trigger=False, fine_grained=False, hot_selection=False)),
+    ("+Adv", dict(advance_trigger=True, fine_grained=False, hot_selection=False)),
+    ("+Fine", dict(advance_trigger=False, fine_grained=True, hot_selection=False)),
+    ("+Hot", dict(advance_trigger=False, fine_grained=False, hot_selection=True)),
+    ("O", dict(advance_trigger=True, fine_grained=True, hot_selection=True)),
+]
+
+
+def _variant_config(flags):
+    base = bench_config(Design.W, units=BENCH_UNITS)
+    return ablation_config(base=base, seed=base.seed, **flags)
+
+
+def _run_fig14a():
+    results = {}
+    for name, flags in VARIANTS:
+        cfg = _variant_config(flags)
+        for app in ALL_APPS:
+            results[(name, app)] = run_one(app, cfg.design, config=cfg)
+    return results
+
+
+def test_fig14a_ablation(benchmark):
+    results = benchmark.pedantic(
+        _run_fig14a, rounds=1, iterations=1, warmup_rounds=0
+    )
+    gms = {}
+    for name, _ in VARIANTS:
+        gms[name] = geomean(
+            results[("W", app)].makespan / results[(name, app)].makespan
+            for app in ALL_APPS
+        )
+    rows = [[name, gms[name]] for name, _ in VARIANTS]
+    print(format_table(
+        "Fig. 14(a) - geomean speedup over W",
+        ["variant", "speedup"], rows,
+    ))
+
+    # Shape: every single optimization helps on average, and the full
+    # combination is the best variant.
+    assert gms["O"] > 1.0, "combined optimizations must beat W"
+    assert gms["O"] >= max(gms["+Adv"], gms["+Fine"], gms["+Hot"]) * 0.9, (
+        "the combination should be at least on par with each alone"
+    )

@@ -1,0 +1,50 @@
+"""Fig. 16(b): state-gathering interval I_state.
+
+STATE-GATHER runs every I_state cycles and feeds both the communication
+triggering and the load balancer.  Too coarse reacts slowly; too fine
+wastes link time.  The paper finds 2000 cycles retains full performance.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import Design
+
+from .common import SWEEP_APPS, bench_config, format_table, geomean, run_one
+
+I_STATES = [500, 1000, 2000, 4000, 8000]
+
+
+def _config(i_state):
+    cfg = bench_config(Design.O)
+    return cfg.replace(comm=replace(cfg.comm, i_state_cycles=i_state))
+
+
+def _run_fig16b():
+    results = {}
+    for i_state in I_STATES:
+        cfg = _config(i_state)
+        for app in SWEEP_APPS:
+            results[(i_state, app)] = run_one(app, Design.O, config=cfg)
+    return results
+
+
+def test_fig16b_istate_sweep(benchmark):
+    results = benchmark.pedantic(
+        _run_fig16b, rounds=1, iterations=1, warmup_rounds=0
+    )
+    base = geomean(results[(2000, app)].makespan for app in SWEEP_APPS)
+    rows = []
+    perf = {}
+    for i_state in I_STATES:
+        gm = geomean(results[(i_state, app)].makespan for app in SWEEP_APPS)
+        perf[i_state] = base / gm
+        rows.append([i_state, base / gm])
+    print(format_table(
+        "Fig. 16(b) - performance vs default I_state = 2000 cycles",
+        ["I_state", "rel. performance"], rows,
+    ))
+
+    # Shape: the default retains close-to-best performance.
+    assert perf[2000] >= 0.8 * max(perf.values())

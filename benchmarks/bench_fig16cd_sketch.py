@@ -1,0 +1,72 @@
+"""Fig. 16(c,d): hot-data sketch geometry (buckets x entries).
+
+The sketch identifies the hottest blocks for +Hot scheduling.  The paper
+sweeps the bucket count and entries per bucket around the 16 x 16 default:
+larger sketches help slightly for some applications but cost area; much
+smaller ones lose track of the heavy hitters.
+"""
+
+import pytest
+
+from repro.config import Design, SketchConfig
+
+from .common import SWEEP_APPS, bench_config, format_table, geomean, run_one
+
+BUCKET_SWEEP = [4, 16, 64]      # entries fixed at 16  (Fig. 16(c))
+ENTRY_SWEEP = [4, 16, 64]       # buckets fixed at 16  (Fig. 16(d))
+
+
+def _config(buckets, entries):
+    cfg = bench_config(Design.O)
+    return cfg.replace(
+        sketch=SketchConfig(buckets=buckets, entries_per_bucket=entries)
+    )
+
+
+def _run_sweep(pairs):
+    results = {}
+    for buckets, entries in pairs:
+        cfg = _config(buckets, entries)
+        for app in SWEEP_APPS:
+            results[(buckets, entries, app)] = run_one(
+                app, Design.O, config=cfg
+            )
+    return results
+
+
+def test_fig16c_bucket_sweep(benchmark):
+    pairs = [(b, 16) for b in BUCKET_SWEEP]
+    results = benchmark.pedantic(
+        lambda: _run_sweep(pairs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    base = geomean(results[(16, 16, app)].makespan for app in SWEEP_APPS)
+    rows = []
+    perf = {}
+    for b in BUCKET_SWEEP:
+        gm = geomean(results[(b, 16, app)].makespan for app in SWEEP_APPS)
+        perf[b] = base / gm
+        rows.append([b, base / gm])
+    print(format_table(
+        "Fig. 16(c) - sketch bucket count (16 entries each)",
+        ["buckets", "rel. performance"], rows,
+    ))
+    assert perf[16] >= 0.8 * max(perf.values())
+
+
+def test_fig16d_entry_sweep(benchmark):
+    pairs = [(16, e) for e in ENTRY_SWEEP]
+    results = benchmark.pedantic(
+        lambda: _run_sweep(pairs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    base = geomean(results[(16, 16, app)].makespan for app in SWEEP_APPS)
+    rows = []
+    perf = {}
+    for e in ENTRY_SWEEP:
+        gm = geomean(results[(16, e, app)].makespan for app in SWEEP_APPS)
+        perf[e] = base / gm
+        rows.append([e, base / gm])
+    print(format_table(
+        "Fig. 16(d) - sketch entries per bucket (16 buckets)",
+        ["entries", "rel. performance"], rows,
+    ))
+    assert perf[16] >= 0.8 * max(perf.values())

@@ -1,0 +1,55 @@
+"""Quickstart: run one application on NDPBridge and print the results.
+
+This is the smallest end-to-end use of the library:
+
+1. pick a system design (Table II: C / B / W / O, plus H and R),
+2. build an application (the paper's eight, via ``make_app``),
+3. ``run_app`` simulates the machine cycle-by-cycle and verifies the
+   distributed result against a reference implementation,
+4. inspect the metrics the paper reports (makespan, wait time, balance).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Design, default_config, make_app, run_app, small_config
+
+
+def main() -> None:
+    # A 64-unit single-rank system keeps this example snappy; swap in
+    # default_config(...) for the paper's 512-unit Table-I machine.
+    config = small_config(Design.O)
+
+    # Tree traversal: the paper's running example (Algorithm 1).  Each
+    # query walks the BST, spawning a child task wherever the next node
+    # lives -- upper tree levels constantly cross banks.
+    app = make_app("tree", scale=0.25, seed=7)
+
+    print(f"Running {app.name!r} on design {config.design.value} "
+          f"({config.topology.total_units} NDP units)...")
+    result = run_app(app, config)
+    m = result.metrics
+
+    print(f"  makespan            : {m.makespan:,} cycles "
+          f"({m.makespan * config.cycle_ns / 1e6:.2f} ms at 400 MHz)")
+    print(f"  tasks executed      : {m.tasks_executed:,}")
+    print(f"  avg/max unit time   : {m.avg_over_max:.2f} "
+          f"(1.0 = perfectly balanced)")
+    print(f"  wait fraction       : {m.wait_fraction:.1%} "
+          f"of the critical unit's time")
+    print(f"  task messages       : {m.task_messages:,}")
+    print(f"  blocks migrated     : {m.data_messages:,}")
+    if m.energy:
+        print(f"  energy              : {m.energy.total_uj:.1f} uJ "
+              f"({m.energy.comm_dram_pj / m.energy.total_pj:.1%} "
+              f"communication)")
+
+    # Compare against the host-forwarding baseline (design C).
+    baseline = run_app(make_app("tree", scale=0.25, seed=7),
+                       small_config(Design.C))
+    speedup = baseline.metrics.makespan / m.makespan
+    print(f"\nNDPBridge (O) is {speedup:.2f}x faster than host forwarding "
+          f"(C) on this workload.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Skewed index lookups and dynamic load balancing.
+
+The pure load-imbalance scenario: linked lists and hash-table buckets are
+each fully resident in one bank, so lookups need no communication at all
+-- but Zipf-skewed queries hammer a few hot structures, and under static
+assignment the hot banks dominate the runtime while the rest idle.  This
+example shows how NDPBridge's data-first scheduling migrates the hot
+blocks (with their queued tasks) to idle units, and how the hot-data
+sketch picks what to move.
+
+Run:  python examples/skewed_index_balancing.py
+"""
+
+from repro import Design, make_app, run_app, small_config
+from repro.apps import LinkedListApp
+
+
+def run_with_skew(skew: float) -> None:
+    print(f"\n--- linked-list traversal, Zipf skew s = {skew} ---")
+    print(f"{'design':>8} {'makespan':>10} {'speedup':>8} {'avg/max':>8} "
+          f"{'blocks lent':>12}")
+    baseline = None
+    for design in (Design.B, Design.W, Design.O):
+        app = LinkedListApp(
+            n_lists=1024, n_queries=2048, skew=skew, seed=21
+        )
+        result = run_app(app, small_config(design))
+        m = result.metrics
+        lent = result.system.stats.sum_counters(".blocks_lent")
+        if baseline is None:
+            baseline = m.makespan
+        print(f"{design.value:>8} {m.makespan:>10,} "
+              f"{baseline / m.makespan:>7.2f}x {m.avg_over_max:>8.2f} "
+              f"{lent:>12,}")
+
+
+def main() -> None:
+    # Uniform queries: the static partition is already balanced, and the
+    # balancer correctly stays (mostly) out of the way.
+    run_with_skew(0.0)
+    # Mild and heavy skew: the hotter the queries, the more blocks the
+    # balancer migrates and the bigger its win over bridges alone (B).
+    run_with_skew(0.8)
+    run_with_skew(1.2)
+
+    print(
+        "\nUnder skew, design B's avg/max collapses (a few banks do all"
+        "\nthe work) while W and O migrate hot lists; O uses the sketch +"
+        "\nreserved queue to move the *hottest* blocks first, paying less"
+        "\ntraffic per unit of migrated work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Visualizing load imbalance with ASCII utilization timelines.
+
+Runs the same skewed workload on designs B and O and renders per-unit
+busy timelines: under B a few banks glow while the rest idle; under O the
+balancer migrates hot blocks and the raster evens out.  Also prints the
+mean/median/peak utilization summary.
+
+Run:  python examples/utilization_timeline.py
+"""
+
+from repro import Design, run_app, small_config
+from repro.analysis.timeline import system_timeline, utilization_summary
+from repro.apps import HashTableApp
+
+
+def show(design: Design) -> None:
+    app = HashTableApp(
+        n_buckets=1024, n_keys=4096, n_queries=4096, skew=1.1, seed=31
+    )
+    result = run_app(app, small_config(design))
+    print()
+    print(system_timeline(result.system, columns=48, max_rows=16))
+    mean, median, peak = utilization_summary(result.system)
+    print(f"utilization mean={mean:.1%} median={median:.1%} "
+          f"peak={peak:.1%}  makespan={result.metrics.makespan:,}")
+
+
+def main() -> None:
+    print("Hash-table probing under Zipf-skewed keys (s = 1.1).")
+    print("Rows are NDP units sorted hottest-first; density = busy share.")
+    show(Design.B)
+    show(Design.O)
+    print(
+        "\nDesign B leaves the hot banks saturated while the rest idle;"
+        "\ndesign O lends hot buckets outward, raising mean utilization"
+        "\nand cutting the makespan."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` falls back to this legacy path when PEP 517 editable
+builds are unavailable; all real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""NDPBridge: cross-bank coordination for near-DRAM-bank processing.
+
+A full reproduction of Tian et al., "NDPBridge: Enabling Cross-Bank
+Coordination in Near-DRAM-Bank Processing Architectures" (ISCA 2024):
+a discrete-event model of a DRAM-bank NDP machine with hierarchical
+hardware bridges, a task-based message-passing programming model, and
+data-transfer-aware dynamic load balancing.
+
+Quickstart::
+
+    from repro import Design, default_config, make_app, run_app
+
+    config = default_config(Design.O)
+    result = run_app(make_app("tree", scale=0.25), config)
+    print(result.metrics.makespan, result.metrics.wait_fraction)
+"""
+
+from .config import (
+    Design,
+    SystemConfig,
+    TriggerMode,
+    default_config,
+    scaled_config,
+    small_config,
+    tiny_config,
+)
+from .apps import APP_CLASSES, NDPApplication, make_app
+from .analysis import RunMetrics, collect_metrics
+from .runtime import (
+    NDPSystem,
+    RunResult,
+    Task,
+    VerificationError,
+    build_system,
+    run_app,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Design",
+    "SystemConfig",
+    "TriggerMode",
+    "default_config",
+    "scaled_config",
+    "small_config",
+    "tiny_config",
+    "APP_CLASSES",
+    "NDPApplication",
+    "make_app",
+    "RunMetrics",
+    "collect_metrics",
+    "NDPSystem",
+    "RunResult",
+    "Task",
+    "VerificationError",
+    "build_system",
+    "run_app",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Result analysis: metrics, reporting, and metadata audits."""
+
+from .audit import AuditReport, audit_system
+from .sweep import SweepResult, Variant, run_sweep
+from .timeline import UnitActivity, render_timeline, system_timeline, utilization_summary
+from .metrics import RunMetrics, collect_metrics
+from .report import (
+    energy_table,
+    geomean,
+    metrics_table,
+    speedup_summary,
+    text_table,
+    to_json,
+)
+
+__all__ = [
+    "AuditReport",
+    "SweepResult",
+    "Variant",
+    "run_sweep",
+    "UnitActivity",
+    "render_timeline",
+    "system_timeline",
+    "utilization_summary",
+    "audit_system",
+    "RunMetrics",
+    "collect_metrics",
+    "energy_table",
+    "geomean",
+    "metrics_table",
+    "speedup_summary",
+    "text_table",
+    "to_json",
+]

@@ -1,0 +1,121 @@
+"""First-order analytic bounds for the simulated designs.
+
+Closed-form roofline-style estimates used to cross-check the simulator:
+a discrete-event model with a bug can silently produce plausible-looking
+nonsense, but it cannot beat physics.  For a given configuration and
+workload summary these functions bound
+
+* aggregate task throughput (compute bound),
+* cross-unit message throughput per design (communication bound),
+* and a lower bound on makespan combining both with the critical unit's
+  serial work.
+
+Tests assert the simulator never *exceeds* these bounds (faster than
+physics = bug) and lands within a sane factor of them on saturating
+workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import Design, SystemConfig
+
+
+@dataclass(frozen=True)
+class WorkloadSummary:
+    """The few numbers the bounds need."""
+
+    total_tasks: int
+    total_task_cycles: int          # sum of execution cycles
+    total_messages: int             # cross-unit messages sent
+    message_bytes: int              # total wire bytes of those messages
+    critical_unit_cycles: int       # serial work of the busiest unit
+
+
+def per_task_overhead_cycles(config: SystemConfig) -> int:
+    """Dispatch plus a cache-hit data access."""
+    from ..ndp.cache import HIT_LATENCY
+
+    return config.core.dispatch_overhead_cycles + HIT_LATENCY
+
+
+def compute_bound_cycles(
+    config: SystemConfig, workload: WorkloadSummary
+) -> float:
+    """Time to retire all task cycles with every unit busy."""
+    units = config.topology.total_units
+    overhead = per_task_overhead_cycles(config) * workload.total_tasks
+    return (workload.total_task_cycles + overhead) / units
+
+
+def message_throughput_bytes_per_cycle(config: SystemConfig) -> float:
+    """Peak cross-unit payload bandwidth of the configured design.
+
+    Every message crosses its source's link out and its destination's
+    link in, so the aggregate link capacity is halved.
+    """
+    topo = config.topology
+    if config.design in (Design.B, Design.W, Design.O):
+        links = topo.ranks * topo.chips_per_rank
+        return links * config.chip_link_bytes_per_cycle / 2.0
+    if config.design in (Design.C, Design.R):
+        from ..bridge.host_path import HOST_ACCESS_INEFFICIENCY
+
+        chans = topo.channels * config.channel_bytes_per_cycle
+        return chans / (2.0 * HOST_ACCESS_INEFFICIENCY)
+    raise ValueError(f"no message model for design {config.design}")
+
+
+def communication_bound_cycles(
+    config: SystemConfig, workload: WorkloadSummary
+) -> float:
+    """Time to move all message bytes at peak fabric bandwidth."""
+    if workload.message_bytes == 0:
+        return 0.0
+    return workload.message_bytes / message_throughput_bytes_per_cycle(config)
+
+
+def host_overhead_bound_cycles(
+    config: SystemConfig, workload: WorkloadSummary
+) -> float:
+    """Design C/R also serialize per-message software handling."""
+    if config.design not in (Design.C, Design.R):
+        return 0.0
+    threads = max(1, config.host.cores // 4)
+    return (
+        workload.total_messages
+        * config.comm.host_per_message_overhead_cycles / threads
+    )
+
+
+def makespan_lower_bound(
+    config: SystemConfig, workload: WorkloadSummary
+) -> float:
+    """No design can finish faster than its binding resource."""
+    return max(
+        compute_bound_cycles(config, workload),
+        communication_bound_cycles(config, workload),
+        host_overhead_bound_cycles(config, workload),
+        float(workload.critical_unit_cycles),
+        1.0,
+    )
+
+
+def summarize_run(system) -> WorkloadSummary:
+    """Extract a :class:`WorkloadSummary` from a finished NDP system."""
+    stats = system.stats
+    total_tasks = system.total_tasks_executed
+    total_cycles = sum(u.busy_cycles for u in system.units)
+    messages = stats.sum_counters(".tasks_forwarded")
+    return WorkloadSummary(
+        total_tasks=total_tasks,
+        # busy cycles include overheads; good enough for a lower bound
+        # when divided by units.
+        total_task_cycles=total_cycles,
+        total_messages=messages,
+        message_bytes=messages * 64,
+        critical_unit_cycles=max(
+            (u.busy_cycles for u in system.units), default=0
+        ),
+    )

@@ -1,0 +1,94 @@
+"""Parameter sweep helper.
+
+Wraps the run-one-app loop behind a declarative interface: a sweep is a
+list of named configuration variants; ``run_sweep`` executes every
+(variant x app) cell and returns a :class:`SweepResult` with table
+rendering and geomean helpers.  The Fig.-16-style benches and the CLI
+``sweep`` command are built on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from .metrics import RunMetrics
+from .report import geomean, text_table
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One sweep point: a label and the configuration to run."""
+
+    label: str
+    config: SystemConfig
+
+
+@dataclass
+class SweepResult:
+    """All metrics from one sweep, keyed by (variant label, app name)."""
+
+    variants: List[str]
+    apps: List[str]
+    cells: Dict[Tuple[str, str], RunMetrics] = field(default_factory=dict)
+
+    def metrics(self, variant: str, app: str) -> RunMetrics:
+        return self.cells[(variant, app)]
+
+    def geomean_makespan(self, variant: str) -> float:
+        return geomean(
+            self.cells[(variant, app)].makespan for app in self.apps
+        )
+
+    def relative_performance(self, baseline: str) -> Dict[str, float]:
+        """Per-variant geomean speedup over the baseline variant."""
+        base = self.geomean_makespan(baseline)
+        return {
+            v: base / self.geomean_makespan(v) for v in self.variants
+        }
+
+    def table(self, baseline: Optional[str] = None,
+              title: str = "sweep") -> str:
+        headers = ["variant"] + self.apps + ["geomean"]
+        rows = []
+        base = (
+            self.geomean_makespan(baseline) if baseline is not None else None
+        )
+        for v in self.variants:
+            row: List[object] = [v]
+            for app in self.apps:
+                row.append(self.cells[(v, app)].makespan)
+            gm = self.geomean_makespan(v)
+            row.append(base / gm if base is not None else gm)
+            rows.append(row)
+        return text_table(headers, rows, title=title)
+
+
+def run_sweep(
+    variants: Sequence[Variant],
+    apps: Sequence[str],
+    scale: float = 0.25,
+    seed: int = 42,
+    verify: bool = True,
+    on_cell: Optional[Callable[[str, str, RunMetrics], None]] = None,
+) -> SweepResult:
+    """Execute every (variant, app) cell of the sweep."""
+    # Imported lazily: the app/runtime layers build on analysis.
+    from ..apps import make_app
+    from ..runtime.runner import run_app
+
+    if not variants:
+        raise ValueError("a sweep needs at least one variant")
+    labels = [v.label for v in variants]
+    if len(set(labels)) != len(labels):
+        raise ValueError("variant labels must be unique")
+    result = SweepResult(variants=labels, apps=list(apps))
+    for variant in variants:
+        for app_name in apps:
+            app = make_app(app_name, scale=scale, seed=seed)
+            metrics = run_app(app, variant.config, verify=verify).metrics
+            result.cells[(variant.label, app_name)] = metrics
+            if on_cell is not None:
+                on_cell(variant.label, app_name, metrics)
+    return result

@@ -1,0 +1,94 @@
+"""ASCII utilization timelines.
+
+Renders per-unit busy fractions over time as a character raster -- the
+quickest way to *see* load imbalance, epoch barriers, and the effect of
+the balancer without leaving the terminal::
+
+    unit  0 |##########______________|
+    unit  1 |####_____________#######|
+    ...
+
+Units record busy intervals when profiling is enabled on the system
+(``collect_intervals=True`` at construction is not required: the timeline
+reconstructs a coarse view from busy/finish counters when exact intervals
+are unavailable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+#: Glyphs from idle to fully busy.
+SHADES = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class UnitActivity:
+    """One unit's activity summary for timeline rendering."""
+
+    unit_id: int
+    busy_cycles: int
+    finish_time: int
+
+
+def _row_glyphs(
+    busy: int, finish: int, makespan: int, columns: int
+) -> str:
+    """Coarse single-row density: busy spread uniformly until ``finish``."""
+    if makespan <= 0 or finish <= 0:
+        return SHADES[0] * columns
+    active_cols = max(1, round(columns * min(finish, makespan) / makespan))
+    density = min(1.0, busy / max(1, finish))
+    shade = SHADES[min(len(SHADES) - 1, int(density * (len(SHADES) - 1)))]
+    return (shade * active_cols).ljust(columns, SHADES[0])
+
+
+def render_timeline(
+    activities: Sequence[UnitActivity],
+    makespan: int,
+    columns: int = 60,
+    max_rows: int = 32,
+    title: Optional[str] = None,
+) -> str:
+    """Render one row per unit (down-sampled beyond ``max_rows``)."""
+    if columns < 8:
+        raise ValueError("need at least 8 columns")
+    rows: List[str] = []
+    if title:
+        rows.append(f"=== {title} (makespan {makespan:,} cycles) ===")
+    acts = list(activities)
+    stride = max(1, len(acts) // max_rows)
+    for act in acts[::stride]:
+        bar = _row_glyphs(act.busy_cycles, act.finish_time, makespan, columns)
+        pct = 100.0 * act.busy_cycles / max(1, makespan)
+        rows.append(f"unit {act.unit_id:>4} |{bar}| {pct:5.1f}% busy")
+    if stride > 1:
+        rows.append(f"({stride - 1} of every {stride} units elided)")
+    return "\n".join(rows)
+
+
+def system_timeline(system, columns: int = 60, max_rows: int = 32) -> str:
+    """Timeline for a finished NDP system, sorted hottest-first."""
+    makespan = system.makespan
+    acts = sorted(
+        (
+            UnitActivity(u.unit_id, u.busy_cycles, u.finish_time)
+            for u in system.units
+        ),
+        key=lambda a: -a.busy_cycles,
+    )
+    return render_timeline(
+        acts, makespan, columns=columns, max_rows=max_rows,
+        title=f"design {system.config.design.value}",
+    )
+
+
+def utilization_summary(system) -> Tuple[float, float, float]:
+    """(mean, median, max) busy fraction across units."""
+    makespan = max(1, system.makespan)
+    fracs = sorted(u.busy_cycles / makespan for u in system.units)
+    n = len(fracs)
+    if not n:
+        return (0.0, 0.0, 0.0)
+    return (sum(fracs) / n, fracs[n // 2], fracs[-1])

@@ -1,0 +1,58 @@
+"""Application base class.
+
+Applications are written purely against the public programming model
+(Section IV): they allocate partitioned arrays, register task functions,
+and seed initial tasks.  The same application object runs unmodified on
+every design, including the host-only design H.
+
+Each app also carries a *reference implementation* used by ``verify`` to
+check that the simulated distributed execution computed the right answer
+-- the simulator moves real application state around, so correctness bugs
+in routing/balancing surface as verification failures.
+"""
+
+from __future__ import annotations
+
+import abc
+from ..runtime.partition import DataArray
+from ..sim import DeterministicRNG
+
+
+class NDPApplication(abc.ABC):
+    """One benchmark application in the task-based model."""
+
+    #: Short name used in reports (matches the paper's naming).
+    name: str = "app"
+
+    def __init__(self, seed: int = 1):
+        self.seed = seed
+        self.rng = DeterministicRNG(seed, f"app/{self.name}")
+        self._system = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def attach(self, system) -> None:
+        """Allocate arrays, register task functions, build input data."""
+        self._system = system
+        self.build(system)
+
+    @abc.abstractmethod
+    def build(self, system) -> None:
+        """App-specific setup (arrays + task function registration)."""
+
+    @abc.abstractmethod
+    def seed_tasks(self, system) -> None:
+        """Inject the initial tasks."""
+
+    @abc.abstractmethod
+    def verify(self) -> bool:
+        """Did the distributed run produce the reference answer?"""
+
+    # -- helpers ---------------------------------------------------------
+    def addr(self, arr: DataArray, index: int) -> int:
+        return self._system.partition.addr_of(arr, index)
+
+    def index(self, arr: DataArray, addr: int) -> int:
+        return self._system.partition.index_of(arr, addr)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}(seed={self.seed})"

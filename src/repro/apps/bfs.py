@@ -1,0 +1,103 @@
+"""Breadth-first search (``bfs``).
+
+Level-synchronous BFS in the timestamp model: visiting a vertex at level
+``d`` spawns visit tasks for its unvisited neighbors at timestamp ``d+1``,
+so epochs are BFS levels.  Edges that cross banks become task messages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from ..runtime.task import Task
+from ..workloads.graphs import Graph, rmat_graph
+from .base import NDPApplication
+
+#: Cycles to check/mark a vertex plus per-edge push cost.
+VISIT_COST = 10
+EDGE_COST = 4
+#: A visit to an already-settled vertex is a compare-and-drop.
+STALE_COST = 4
+
+INF = float("inf")
+
+
+class BfsApp(NDPApplication):
+    name = "bfs"
+
+    def __init__(
+        self,
+        graph: Optional[Graph] = None,
+        n_vertices: int = 4096,
+        avg_degree: int = 8,
+        source: int = 0,
+        seed: int = 1,
+        layout: str = "blocked",
+    ):
+        super().__init__(seed)
+        if graph is None:
+            graph = rmat_graph(
+                n_vertices, avg_degree, self.rng.substream("graph")
+            ).undirected()
+        self.graph = graph
+        self.source = source
+        self.layout = layout
+        self.dist: List[float] = []
+
+    def build(self, system) -> None:
+        self.dist = [INF] * self.graph.n
+        self.vertices = system.partition.allocate(
+            "bfs_vertices", self.graph.n, element_size=256,
+            layout=self.layout,
+        )
+        system.registry.register("bfs_visit", self._visit, cost=self._visit_cost)
+
+    def _cost(self, v: int) -> int:
+        return VISIT_COST + EDGE_COST * self.graph.out_degree(v)
+
+    def _visit_cost(self, task: Task) -> int:
+        v = self.index(self.vertices, task.data_addr)
+        if self.dist[v] <= task.args[0]:
+            return STALE_COST
+        return self._cost(v)
+
+    def _visit(self, ctx, task: Task) -> None:
+        v = self.index(self.vertices, task.data_addr)
+        depth = task.args[0]
+        if self.dist[v] <= depth:
+            return
+        self.dist[v] = depth
+        for u in self.graph.neighbors(v):
+            if self.dist[u] <= depth + 1:
+                continue  # application-level dedup, no remote data read
+            ctx.enqueue_task(
+                "bfs_visit", task.ts + 1,
+                self.addr(self.vertices, u),
+                workload=self._cost(u), actual_cycles=self._cost(u),
+                args=(depth + 1,),
+            )
+
+    def seed_tasks(self, system) -> None:
+        system.seed_task(Task(
+            func="bfs_visit", ts=0,
+            data_addr=self.addr(self.vertices, self.source),
+            workload=self._cost(self.source),
+            actual_cycles=self._cost(self.source),
+            args=(0,),
+        ))
+
+    def reference_distances(self) -> List[float]:
+        dist = [INF] * self.graph.n
+        dist[self.source] = 0
+        frontier = deque([self.source])
+        while frontier:
+            v = frontier.popleft()
+            for u in self.graph.neighbors(v):
+                if dist[u] == INF:
+                    dist[u] = dist[v] + 1
+                    frontier.append(u)
+        return dist
+
+    def verify(self) -> bool:
+        return self.dist == self.reference_distances()

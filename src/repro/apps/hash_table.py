@@ -1,0 +1,108 @@
+"""Hash-table probing (``ht``).
+
+Buckets are distributed across units with each bucket's chain local to
+its home unit (layout from [30]), so lookups are communication-free under
+static assignment -- a probe walks the chain as a sequence of per-node
+tasks that enqueue locally.  Zipf-skewed keys concentrate probes on hot
+buckets, which load balancing can migrate.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..runtime.task import Task
+from ..workloads.zipf import ZipfGenerator
+from .base import NDPApplication
+
+#: Cycles per chain node compared during a probe.
+PROBE_COST = 10
+
+#: Chain slots allocated per bucket.
+MAX_CHAIN = 64
+
+
+def _hash(key: int, n_buckets: int) -> int:
+    # Knuth multiplicative hash keeps hot keys spread across buckets.
+    return (key * 2654435761) % (1 << 32) % n_buckets
+
+
+class HashTableApp(NDPApplication):
+    name = "ht"
+
+    def __init__(
+        self,
+        n_buckets: int = 4096,
+        n_keys: int = 16384,
+        n_queries: int = 4096,
+        skew: float = 1.0,
+        seed: int = 1,
+    ):
+        super().__init__(seed)
+        self.n_buckets = n_buckets
+        self.n_keys = n_keys
+        self.n_queries = n_queries
+        self.skew = skew
+        self.chains: List[List[int]] = []
+        self.queries: List[int] = []
+        self.hits = 0
+        self.probes_done = 0
+
+    def build(self, system) -> None:
+        units = system.partition.units
+        per_unit = max(1, -(-self.n_buckets // units))
+        self.n_buckets = per_unit * units
+        self.chains = [[] for _ in range(self.n_buckets)]
+        for key in range(self.n_keys):
+            chain = self.chains[_hash(key, self.n_buckets)]
+            if len(chain) < MAX_CHAIN:
+                chain.append(key)
+        self.slots = system.partition.allocate(
+            "ht_slots", self.n_buckets * MAX_CHAIN, element_size=64
+        )
+        system.registry.register("ht_probe", self._probe)
+        inserted = [k for c in self.chains for k in c]
+        zipf = ZipfGenerator(len(inserted), self.skew, self.rng.substream("q"))
+        self.queries = [inserted[r] for r in zipf.sample_many(self.n_queries)]
+
+    def _slot_index(self, bucket: int, pos: int) -> int:
+        return bucket * MAX_CHAIN + pos
+
+    def _probe(self, ctx, task: Task) -> None:
+        idx = self.index(self.slots, task.data_addr)
+        bucket, pos = divmod(idx, MAX_CHAIN)
+        key = task.args[0]
+        chain = self.chains[bucket]
+        self.probes_done += 1
+        if pos < len(chain) and chain[pos] == key:
+            self.hits += 1
+            return
+        if pos + 1 < len(chain):
+            ctx.enqueue_task(
+                "ht_probe", task.ts,
+                self.addr(self.slots, self._slot_index(bucket, pos + 1)),
+                workload=PROBE_COST, actual_cycles=PROBE_COST,
+                args=(key,), read_only=True,
+            )
+
+    def seed_tasks(self, system) -> None:
+        for key in self.queries:
+            bucket = _hash(key, self.n_buckets)
+            system.seed_task(Task(
+                func="ht_probe", ts=0,
+                data_addr=self.addr(self.slots, self._slot_index(bucket, 0)),
+                workload=PROBE_COST, actual_cycles=PROBE_COST,
+                args=(key,), read_only=True,
+            ))
+
+    def verify(self) -> bool:
+        # Every queried key was inserted, so every lookup must hit, after
+        # walking exactly its chain prefix.
+        expected_probes = 0
+        for key in self.queries:
+            chain = self.chains[_hash(key, self.n_buckets)]
+            expected_probes += chain.index(key) + 1
+        return (
+            self.hits == len(self.queries)
+            and self.probes_done == expected_probes
+        )

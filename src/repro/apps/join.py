@@ -1,0 +1,114 @@
+"""Hash join (``join``) -- a database workload (paper intro cites NDP
+for databases [12]).
+
+Equi-join of two relations in two bulk-synchronous phases: at ts 0 every
+R tuple pushes itself to its join key's hash bucket (*build*), and at
+ts 1 every S tuple probes the bucket at the same home (*probe*), counting
+matches.  Both phases are pure data-centric pushes -- the bucket array is
+the partitioned state, and skewed key distributions make some buckets'
+banks hot in both phases.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from ..runtime.task import Task
+from ..workloads.zipf import ZipfGenerator
+from .base import NDPApplication
+
+BUILD_COST = 8
+PROBE_COST = 10
+MATCH_COST = 2
+
+
+def _hash(key: int, n_buckets: int) -> int:
+    return (key * 2654435761) % (1 << 32) % n_buckets
+
+
+class HashJoinApp(NDPApplication):
+    name = "join"
+
+    def __init__(
+        self,
+        n_buckets: int = 2048,
+        r_rows: int = 4096,
+        s_rows: int = 8192,
+        n_keys: int = 1024,
+        skew: float = 0.8,
+        seed: int = 1,
+    ):
+        super().__init__(seed)
+        self.n_buckets = n_buckets
+        self.r_rows = r_rows
+        self.s_rows = s_rows
+        self.n_keys = n_keys
+        self.skew = skew
+        self.r_keys: List[int] = []
+        self.s_keys: List[int] = []
+        self.hash_table: Dict[int, List[int]] = {}
+        self.matches = 0
+
+    def build(self, system) -> None:
+        units = system.partition.units
+        per_unit = max(1, -(-self.n_buckets // units))
+        self.n_buckets = per_unit * units
+        zipf_r = ZipfGenerator(self.n_keys, self.skew,
+                               self.rng.substream("r"))
+        zipf_s = ZipfGenerator(self.n_keys, self.skew,
+                               self.rng.substream("s"))
+        self.r_keys = zipf_r.sample_many(self.r_rows)
+        self.s_keys = zipf_s.sample_many(self.s_rows)
+        self.hash_table = defaultdict(list)
+        self.matches = 0
+        self.buckets = system.partition.allocate(
+            "join_buckets", self.n_buckets, element_size=256
+        )
+        system.registry.register("join_build", self._build_tuple)
+        system.registry.register(
+            "join_probe", self._probe_tuple, cost=self._probe_cost
+        )
+
+    # Phase 1 (ts = 0): insert an R tuple into its bucket's chain.
+    def _build_tuple(self, ctx, task: Task) -> None:
+        bucket = self.index(self.buckets, task.data_addr)
+        key = task.args[0]
+        self.hash_table[bucket].append(key)
+
+    # Phase 2 (ts = 1): probe with an S tuple; count key matches.
+    def _probe_tuple(self, ctx, task: Task) -> None:
+        bucket = self.index(self.buckets, task.data_addr)
+        key = task.args[0]
+        self.matches += sum(1 for k in self.hash_table[bucket] if k == key)
+
+    def _probe_cost(self, task: Task) -> int:
+        bucket = self.index(self.buckets, task.data_addr)
+        chain = self.hash_table.get(bucket, ())
+        return PROBE_COST + MATCH_COST * len(chain)
+
+    def seed_tasks(self, system) -> None:
+        for key in self.r_keys:
+            bucket = _hash(key, self.n_buckets)
+            system.seed_task(Task(
+                func="join_build", ts=0,
+                data_addr=self.addr(self.buckets, bucket),
+                workload=BUILD_COST, actual_cycles=BUILD_COST,
+                args=(key,),
+            ))
+        for key in self.s_keys:
+            bucket = _hash(key, self.n_buckets)
+            system.seed_task(Task(
+                func="join_probe", ts=1,
+                data_addr=self.addr(self.buckets, bucket),
+                workload=PROBE_COST, args=(key,),
+            ))
+
+    def reference_matches(self) -> int:
+        from collections import Counter
+
+        r_counts = Counter(self.r_keys)
+        return sum(r_counts[k] for k in self.s_keys)
+
+    def verify(self) -> bool:
+        return self.matches == self.reference_matches()

@@ -1,0 +1,109 @@
+"""Single-source shortest paths (``sssp``).
+
+Bellman-Ford-style relaxation in the timestamp model: relaxing vertex
+``v`` at epoch ``t`` pushes improved tentative distances to its neighbors
+at epoch ``t+1``.  Redundant relaxations (a vertex improved several times)
+are exactly the irregular extra work that makes sssp the paper's most
+communication-bound application.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from ..runtime.task import Task
+from ..workloads.graphs import Graph, rmat_graph
+from .base import NDPApplication
+
+RELAX_COST = 12
+EDGE_COST = 5
+#: A relaxation that no longer improves the distance is a compare-drop.
+STALE_COST = 4
+
+INF = float("inf")
+
+
+class SsspApp(NDPApplication):
+    name = "sssp"
+
+    def __init__(
+        self,
+        graph: Optional[Graph] = None,
+        n_vertices: int = 4096,
+        avg_degree: int = 8,
+        source: int = 0,
+        seed: int = 1,
+        layout: str = "blocked",
+    ):
+        super().__init__(seed)
+        if graph is None:
+            graph = rmat_graph(
+                n_vertices, avg_degree, self.rng.substream("graph"),
+                weighted=True,
+            )
+        self.graph = graph
+        self.source = source
+        self.layout = layout
+        self.dist: List[float] = []
+
+    def build(self, system) -> None:
+        self.dist = [INF] * self.graph.n
+        self.vertices = system.partition.allocate(
+            "sssp_vertices", self.graph.n, element_size=256,
+            layout=self.layout,
+        )
+        system.registry.register("sssp_relax", self._relax, cost=self._relax_cost)
+
+    def _cost(self, v: int) -> int:
+        return RELAX_COST + EDGE_COST * self.graph.out_degree(v)
+
+    def _relax_cost(self, task: Task) -> int:
+        v = self.index(self.vertices, task.data_addr)
+        if self.dist[v] <= task.args[0]:
+            return STALE_COST
+        return self._cost(v)
+
+    def _relax(self, ctx, task: Task) -> None:
+        v = self.index(self.vertices, task.data_addr)
+        cand = task.args[0]
+        if self.dist[v] <= cand:
+            return
+        self.dist[v] = cand
+        for i, u in enumerate(self.graph.neighbors(v)):
+            nd = cand + self.graph.weight(v, i)
+            if self.dist[u] <= nd:
+                continue
+            ctx.enqueue_task(
+                "sssp_relax", task.ts + 1,
+                self.addr(self.vertices, u),
+                workload=self._cost(u), actual_cycles=self._cost(u),
+                args=(nd,),
+            )
+
+    def seed_tasks(self, system) -> None:
+        system.seed_task(Task(
+            func="sssp_relax", ts=0,
+            data_addr=self.addr(self.vertices, self.source),
+            workload=self._cost(self.source),
+            actual_cycles=self._cost(self.source),
+            args=(0,),
+        ))
+
+    def reference_distances(self) -> List[float]:
+        dist = [INF] * self.graph.n
+        dist[self.source] = 0
+        heap = [(0, self.source)]
+        while heap:
+            d, v = heapq.heappop(heap)
+            if d > dist[v]:
+                continue
+            for i, u in enumerate(self.graph.neighbors(v)):
+                nd = d + self.graph.weight(v, i)
+                if nd < dist[u]:
+                    dist[u] = nd
+                    heapq.heappush(heap, (nd, u))
+        return dist
+
+    def verify(self) -> bool:
+        return self.dist == self.reference_distances()

@@ -1,0 +1,129 @@
+"""2-D stencil smoothing (``stencil``) -- the paper's Section IV example.
+
+"Stencil computing can be implemented through two steps: (1) each pixel
+pushes its current value (by invoking tasks) to all its neighbors; (2)
+each pixel uses the received values to update its own value."  Two
+bulk-synchronous timestamps per smoothing step implement exactly that
+push-then-apply pattern over a row-partitioned 2-D grid; cross-bank
+messages appear at partition boundaries.
+
+An *extension* application: not part of the paper's evaluated eight, but
+built on the same public API and included in the extended benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..runtime.task import Task
+from .base import NDPApplication
+
+PUSH_COST = 6
+RECV_COST = 3
+APPLY_COST = 10
+
+
+class StencilApp(NDPApplication):
+    name = "stencil"
+
+    def __init__(
+        self,
+        width: int = 64,
+        height: int = 64,
+        steps: int = 3,
+        seed: int = 1,
+    ):
+        super().__init__(seed)
+        self.width = width
+        self.height = height
+        self.steps = steps
+        self.values: List[float] = []
+        self.acc: List[float] = []
+
+    @property
+    def n_cells(self) -> int:
+        return self.width * self.height
+
+    def _neighbors(self, i: int) -> List[int]:
+        x, y = i % self.width, i // self.width
+        out = []
+        if x > 0:
+            out.append(i - 1)
+        if x < self.width - 1:
+            out.append(i + 1)
+        if y > 0:
+            out.append(i - self.width)
+        if y < self.height - 1:
+            out.append(i + self.width)
+        return out
+
+    def build(self, system) -> None:
+        rng = self.rng.substream("init")
+        self.values = [rng.uniform(0.0, 100.0) for _ in range(self.n_cells)]
+        self.acc = [0.0] * self.n_cells
+        self.cells = system.partition.allocate(
+            "stencil_cells", self.n_cells, element_size=64
+        )
+        system.registry.register("st_push", self._push)
+        system.registry.register("st_recv", self._recv)
+        system.registry.register("st_apply", self._apply)
+
+    # Phase 1 (ts = 2k): push my value to the four neighbors, schedule my
+    # own apply for phase 2.
+    def _push(self, ctx, task: Task) -> None:
+        i = self.index(self.cells, task.data_addr)
+        step = task.args[0]
+        for j in self._neighbors(i):
+            ctx.enqueue_task(
+                "st_recv", task.ts, self.addr(self.cells, j),
+                workload=RECV_COST, actual_cycles=RECV_COST,
+                args=(self.values[i],),
+            )
+        ctx.enqueue_task(
+            "st_apply", task.ts + 1, task.data_addr,
+            workload=APPLY_COST, actual_cycles=APPLY_COST,
+            args=(step,),
+        )
+
+    def _recv(self, ctx, task: Task) -> None:
+        i = self.index(self.cells, task.data_addr)
+        self.acc[i] += task.args[0]
+
+    # Phase 2 (ts = 2k+1): average in the received neighbor values; start
+    # the next smoothing step if any remain.
+    def _apply(self, ctx, task: Task) -> None:
+        i = self.index(self.cells, task.data_addr)
+        step = task.args[0]
+        count = 1 + len(self._neighbors(i))
+        self.values[i] = (self.values[i] + self.acc[i]) / count
+        self.acc[i] = 0.0
+        if step + 1 < self.steps:
+            ctx.enqueue_task(
+                "st_push", task.ts + 1, task.data_addr,
+                workload=PUSH_COST, actual_cycles=PUSH_COST,
+                args=(step + 1,),
+            )
+
+    def seed_tasks(self, system) -> None:
+        for i in range(self.n_cells):
+            system.seed_task(Task(
+                func="st_push", ts=0, data_addr=self.addr(self.cells, i),
+                workload=PUSH_COST, actual_cycles=PUSH_COST, args=(0,),
+            ))
+
+    def reference(self) -> List[float]:
+        rng = self.rng.substream("init")
+        vals = [rng.uniform(0.0, 100.0) for _ in range(self.n_cells)]
+        for _ in range(self.steps):
+            prev = list(vals)
+            for i in range(self.n_cells):
+                neigh = self._neighbors(i)
+                vals[i] = (prev[i] + sum(prev[j] for j in neigh)) / (
+                    1 + len(neigh)
+                )
+        return vals
+
+    def verify(self) -> bool:
+        return all(
+            abs(a - b) < 1e-9 for a, b in zip(self.values, self.reference())
+        )

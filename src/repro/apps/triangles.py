@@ -1,0 +1,91 @@
+"""Triangle counting (``tc``) -- graph mining (paper intro: [9], [18]).
+
+The classic push formulation: every vertex ``u`` sends its (ordered)
+adjacency list to each higher-id neighbor ``v``; ``v`` intersects the
+received list with its own adjacency, and every common higher-id vertex
+closes a triangle.  Adjacency payloads make the task messages *large*
+(multiple 64 B sub-messages), exercising the framing/segmentation path
+the other applications rarely touch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..runtime.task import Task
+from ..workloads.graphs import Graph, rmat_graph
+from .base import NDPApplication
+
+SEND_BASE_COST = 10
+SEND_EDGE_COST = 2
+INTERSECT_COST_PER_ITEM = 3
+
+
+class TriangleCountApp(NDPApplication):
+    name = "tc"
+
+    def __init__(
+        self,
+        graph: Optional[Graph] = None,
+        n_vertices: int = 1024,
+        avg_degree: int = 6,
+        seed: int = 1,
+    ):
+        super().__init__(seed)
+        if graph is None:
+            graph = rmat_graph(
+                n_vertices, avg_degree, self.rng.substream("graph")
+            ).undirected()
+        self.graph = graph
+        self.triangles = 0
+
+    def _higher_neighbors(self, v: int) -> List[int]:
+        return [u for u in self.graph.neighbors(v) if u > v]
+
+    def build(self, system) -> None:
+        self.triangles = 0
+        self.vertices = system.partition.allocate(
+            "tc_vertices", self.graph.n, element_size=256
+        )
+        system.registry.register("tc_send", self._send)
+        system.registry.register("tc_intersect", self._intersect)
+
+    # Phase 1: u ships its higher-id adjacency to each higher neighbor.
+    def _send(self, ctx, task: Task) -> None:
+        u = self.index(self.vertices, task.data_addr)
+        higher = self._higher_neighbors(u)
+        for v in higher:
+            ctx.enqueue_task(
+                "tc_intersect", task.ts,
+                self.addr(self.vertices, v),
+                workload=INTERSECT_COST_PER_ITEM * max(1, len(higher)),
+                args=tuple(higher),    # the adjacency payload
+            )
+
+    # Phase 2 (same epoch): v intersects the payload with its own list.
+    def _intersect(self, ctx, task: Task) -> None:
+        v = self.index(self.vertices, task.data_addr)
+        mine = set(self._higher_neighbors(v))
+        self.triangles += sum(1 for w in task.args if w in mine)
+
+    def seed_tasks(self, system) -> None:
+        for u in range(self.graph.n):
+            deg = len(self._higher_neighbors(u))
+            system.seed_task(Task(
+                func="tc_send", ts=0,
+                data_addr=self.addr(self.vertices, u),
+                workload=SEND_BASE_COST + SEND_EDGE_COST * deg,
+                actual_cycles=SEND_BASE_COST + SEND_EDGE_COST * deg,
+                read_only=True,
+            ))
+
+    def reference_triangles(self) -> int:
+        count = 0
+        adj = [set(self._higher_neighbors(v)) for v in range(self.graph.n)]
+        for u in range(self.graph.n):
+            for v in adj[u]:
+                count += len(adj[u] & adj[v])
+        return count
+
+    def verify(self) -> bool:
+        return self.triangles == self.reference_triangles()

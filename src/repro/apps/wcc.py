@@ -1,0 +1,115 @@
+"""Weakly connected components (``wcc``).
+
+Asynchronous label propagation within a single epoch: every vertex starts
+with its own id as label and pushes it to its neighbors; a vertex adopting
+a smaller label keeps propagating.  The run quiesces when no label can
+improve -- the natural fit for the bulk-synchronous tracker's termination
+detection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..runtime.task import Task
+from ..workloads.graphs import Graph, rmat_graph
+from .base import NDPApplication
+
+INIT_COST = 8
+UPDATE_COST = 8
+EDGE_COST = 4
+#: A stale update (label no longer an improvement) is a compare-and-drop.
+STALE_COST = 4
+
+
+class WccApp(NDPApplication):
+    name = "wcc"
+
+    def __init__(
+        self,
+        graph: Optional[Graph] = None,
+        n_vertices: int = 4096,
+        avg_degree: int = 4,
+        seed: int = 1,
+        layout: str = "blocked",
+    ):
+        super().__init__(seed)
+        if graph is None:
+            graph = rmat_graph(
+                n_vertices, avg_degree, self.rng.substream("graph")
+            ).undirected()
+        self.graph = graph
+        self.layout = layout
+        self.labels: List[int] = []
+
+    def build(self, system) -> None:
+        self.labels = list(range(self.graph.n))
+        self.vertices = system.partition.allocate(
+            "wcc_vertices", self.graph.n, element_size=256,
+            layout=self.layout,
+        )
+        system.registry.register("wcc_init", self._init)
+        system.registry.register(
+            "wcc_update", self._update, cost=self._update_cost
+        )
+
+    def _cost(self, v: int) -> int:
+        return UPDATE_COST + EDGE_COST * self.graph.out_degree(v)
+
+    def _update_cost(self, task: Task) -> int:
+        v = self.index(self.vertices, task.data_addr)
+        if self.labels[v] <= task.args[0]:
+            return STALE_COST
+        return self._cost(v)
+
+    def _push(self, ctx, ts: int, v: int, label: int) -> None:
+        for u in self.graph.neighbors(v):
+            if self.labels[u] <= label:
+                continue
+            ctx.enqueue_task(
+                "wcc_update", ts,
+                self.addr(self.vertices, u),
+                workload=self._cost(u), actual_cycles=self._cost(u),
+                args=(label,),
+            )
+
+    def _init(self, ctx, task: Task) -> None:
+        v = self.index(self.vertices, task.data_addr)
+        self._push(ctx, task.ts, v, self.labels[v])
+
+    def _update(self, ctx, task: Task) -> None:
+        v = self.index(self.vertices, task.data_addr)
+        label = task.args[0]
+        if self.labels[v] <= label:
+            return
+        self.labels[v] = label
+        self._push(ctx, task.ts, v, label)
+
+    def seed_tasks(self, system) -> None:
+        for v in range(self.graph.n):
+            system.seed_task(Task(
+                func="wcc_init", ts=0,
+                data_addr=self.addr(self.vertices, v),
+                workload=INIT_COST + EDGE_COST * self.graph.out_degree(v),
+                actual_cycles=INIT_COST + EDGE_COST * self.graph.out_degree(v),
+            ))
+
+    def reference_labels(self) -> List[int]:
+        """Union-find ground truth: min vertex id per component."""
+        parent = list(range(self.graph.n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for v in range(self.graph.n):
+            for u in self.graph.neighbors(v):
+                ra, rb = find(v), find(u)
+                if ra != rb:
+                    parent[max(ra, rb)] = min(ra, rb)
+        return [find(v) for v in range(self.graph.n)]
+
+    def verify(self) -> bool:
+        return self.labels == self.reference_labels()

@@ -1,0 +1,19 @@
+"""Load-balancing structures and policies (Section VI)."""
+
+from .metadata import BorrowEntry, DataBorrowedTable, IsLentBitmap
+from .policy import ChildLoad, SchedulePlan, SchedulingPolicy
+from .reserved_queue import ReservedQueue
+from .sketch import HotDataSketch, ObserveResult, SketchEntry
+
+__all__ = [
+    "BorrowEntry",
+    "DataBorrowedTable",
+    "IsLentBitmap",
+    "ChildLoad",
+    "SchedulePlan",
+    "SchedulingPolicy",
+    "ReservedQueue",
+    "HotDataSketch",
+    "ObserveResult",
+    "SketchEntry",
+]

@@ -1,0 +1,168 @@
+"""Data-transfer-aware scheduling policy (Section VI-C).
+
+The policy runs inside a bridge.  Given load snapshots of its children it
+decides who receives work (receivers), who gives it (givers), and how much
+(budgets).  Three orthogonal optimizations distinguish full NDPBridge (O)
+from traditional work stealing (W):
+
+* ``advance_trigger`` (+Adv, *hiding transfer latency*): a child becomes a
+  receiver when its remaining workload drops below
+  ``W_th = 2 * G_xfer * S_exe / S_xfer`` instead of when its queue empties,
+  so the transfer overlaps the tail of its current work.
+* ``fine_grained`` (+Fine, *avoiding transfer congestion*): receivers ask
+  for a small budget (a multiple of ``W_th``) instead of half the victim's
+  queue, and the ``toArrive`` correction counts workload already assigned
+  but still in flight.
+* ``hot_selection`` (+Hot, *reducing transfer traffic*): implemented on the
+  giver side (see :mod:`repro.ndp.unit`); the policy itself is unchanged.
+
+With all three disabled and ``workload_correction`` on, the policy is the
+paper's W baseline: steal-on-empty, half the victim queue, random victim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import BalanceConfig
+from ..sim import DeterministicRNG
+
+
+@dataclass
+class ChildLoad:
+    """One child's load snapshot as seen by its parent bridge."""
+
+    child_id: int
+    queue_workload: int
+    to_arrive: int = 0
+
+    @property
+    def corrected_workload(self) -> int:
+        return self.queue_workload + self.to_arrive
+
+
+@dataclass
+class SchedulePlan:
+    """One SCHEDULE command: a giver, its budget, and the receivers."""
+
+    giver: int
+    budget: int
+    receivers: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class SchedulingPolicy:
+    """Receiver/giver matching and budget computation."""
+
+    #: A giver must have at least this many W_th of work beyond what a
+    #: receiver would be topped up to, so stealing never creates a new
+    #: straggler out of the victim.
+    GIVER_MARGIN = 2.0
+
+    def __init__(self, config: BalanceConfig, rng: DeterministicRNG):
+        self.config = config
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    def w_th(self, g_xfer_bytes: int, s_exe: float, s_xfer: float) -> int:
+        """Threshold workload for in-advance scheduling (Section VI-C).
+
+        ``s_exe`` is workload units executed per cycle, ``s_xfer`` bytes
+        transferred per cycle between units and the bridge.  The factor of
+        2 accounts for the two hops (giver -> bridge -> receiver).
+        """
+        if s_xfer <= 0:
+            raise ValueError("transfer speed must be positive")
+        return max(1, int(2.0 * g_xfer_bytes * s_exe / s_xfer))
+
+    # ------------------------------------------------------------------
+    def _needs_work(self, load: ChildLoad, w_th: int) -> bool:
+        w = (
+            load.corrected_workload
+            if self.config.workload_correction
+            else load.queue_workload
+        )
+        if self.config.advance_trigger:
+            return w < w_th
+        return w == 0
+
+    def _required(
+        self, load: ChildLoad, w_th: int, target: int
+    ) -> Optional[int]:
+        """Workload a receiver asks for; None => classic half-of-victim."""
+        if not self.config.fine_grained:
+            return None
+        return max(1, target - load.corrected_workload)
+
+    def plan(
+        self,
+        loads: Sequence[ChildLoad],
+        w_th: int,
+        target: Optional[int] = None,
+    ) -> List[SchedulePlan]:
+        """Match receivers to givers; returns one plan per chosen giver.
+
+        ``target`` is the workload a receiver should be topped up to --
+        enough to keep it busy until the next load-balancing round
+        (Section VI-C).  Defaults to ``budget_w_th_multiple * w_th``.
+        """
+        if target is None:
+            target = int(self.config.budget_w_th_multiple * w_th)
+        receivers = [l for l in loads if self._needs_work(l, w_th)]
+        if not receivers:
+            return []
+        min_giver_workload = max(
+            1, int(self.GIVER_MARGIN * w_th), target
+        ) if self.config.fine_grained else 1
+        givers = [
+            l for l in loads
+            if l.queue_workload >= min_giver_workload
+            and not self._needs_work(l, w_th)
+        ]
+        if not givers:
+            return []
+
+        plans: Dict[int, SchedulePlan] = {}
+        remaining_capacity = {g.child_id: g.queue_workload for g in givers}
+        for receiver in receivers:
+            required = self._required(receiver, w_th, target)
+            candidates = [
+                g for g in givers if remaining_capacity[g.child_id] > 0
+            ]
+            if not candidates:
+                break
+            chosen = self.rng.sample(
+                candidates,
+                min(self.config.max_givers_per_receiver, len(candidates)),
+            )
+            if required is None:
+                # Classic work stealing: half of one victim's queue.
+                victim = chosen[0]
+                amount = max(
+                    1,
+                    int(self.config.steal_fraction * victim.queue_workload),
+                )
+                amount = min(amount, remaining_capacity[victim.child_id])
+                if amount <= 0:
+                    continue
+                self._add(plans, victim.child_id, receiver.child_id, amount)
+                remaining_capacity[victim.child_id] -= amount
+            else:
+                share = max(1, required // len(chosen))
+                for giver in chosen:
+                    amount = min(share, remaining_capacity[giver.child_id])
+                    if amount <= 0:
+                        continue
+                    self._add(plans, giver.child_id, receiver.child_id, amount)
+                    remaining_capacity[giver.child_id] -= amount
+        return list(plans.values())
+
+    @staticmethod
+    def _add(
+        plans: Dict[int, SchedulePlan], giver: int, receiver: int, amount: int
+    ) -> None:
+        plan = plans.get(giver)
+        if plan is None:
+            plan = plans[giver] = SchedulePlan(giver=giver, budget=0)
+        plan.budget += amount
+        plan.receivers.append((receiver, amount))

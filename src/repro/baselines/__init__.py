@@ -1,0 +1,5 @@
+"""Baseline system models (Table II plus H and R)."""
+
+from .host_system import HostSystem
+
+__all__ = ["HostSystem"]

@@ -1,0 +1,19 @@
+"""Bridge hierarchy and alternative communication fabrics."""
+
+from .fabric import BridgeFabric, build_fabric
+from .host_path import HostForwardingFabric
+from .level1 import Level1Bridge, UP
+from .level2 import Level2Bridge
+from .rowclone import RowCloneFabric
+from .triggering import CommTrigger
+
+__all__ = [
+    "BridgeFabric",
+    "build_fabric",
+    "HostForwardingFabric",
+    "Level1Bridge",
+    "Level2Bridge",
+    "RowCloneFabric",
+    "CommTrigger",
+    "UP",
+]

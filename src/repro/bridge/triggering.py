@@ -1,0 +1,58 @@
+"""Dynamic communication triggering (Section V-C).
+
+The parent bridge decides when to run a message gather/scatter round:
+
+* a child whose mailbox is empty is never gathered;
+* if any child's ``L_mailbox`` reaches ``G_xfer``, gather immediately
+  (bandwidth will be fully used);
+* otherwise gather only if some child is idle, at most every ``I_min``
+  (the duration of one full round) -- prompt delivery for idle units;
+* messages already inside the bridge (scatter/backup buffers) also demand
+  a round, since only rounds drain them.
+
+``FIXED`` mode gathers unconditionally every ``I_min`` and ``FIXED_2X``
+every ``2 * I_min`` -- the Fig. 14(b) comparison points.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..config import CommConfig, TriggerMode
+
+
+class CommTrigger:
+    """Decides whether to start a gather/scatter round now."""
+
+    def __init__(self, config: CommConfig):
+        self.config = config
+
+    def should_start_round(
+        self,
+        now: int,
+        last_round_end: int,
+        i_min: int,
+        mailbox_lens: Sequence[int],
+        any_idle_child: bool,
+        internal_pending: bool,
+    ) -> bool:
+        elapsed = now - last_round_end
+        mode = self.config.trigger_mode
+        if mode is TriggerMode.FIXED:
+            return elapsed >= i_min
+        if mode is TriggerMode.FIXED_2X:
+            return elapsed >= 2 * i_min
+        # Dynamic triggering.
+        g_xfer = self.config.g_xfer_bytes
+        if any(l >= g_xfer for l in mailbox_lens):
+            return True
+        have_traffic = internal_pending or any(l > 0 for l in mailbox_lens)
+        if not have_traffic:
+            return False
+        if internal_pending and elapsed >= i_min:
+            return True
+        return any_idle_child and elapsed >= i_min
+
+    def gathers_empty_children(self) -> bool:
+        """Fixed modes issue GATHERs blindly (the wasted-energy source)."""
+        return self.config.trigger_mode is not TriggerMode.DYNAMIC

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``     one (app, design) pair, printing the paper-style metrics::
+
+    python -m repro run --app tree --design O --units 64 --scale 0.5
+
+``matrix``  the Fig.-10 app x design sweep with a speedup table::
+
+    python -m repro matrix --designs C,B,W,O --apps tree,bfs --scale 0.25
+
+``designs`` / ``apps``  list what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .analysis.report import (
+    energy_table,
+    metrics_table,
+    speedup_summary,
+    to_json,
+)
+from .apps import APP_CLASSES, EXTENSION_APPS, make_app
+from .config import Design, scaled_config
+from .runtime.runner import run_app
+
+
+def _parse_designs(text: str) -> List[Design]:
+    try:
+        return [Design(token.strip().upper()) for token in text.split(",")]
+    except ValueError as exc:
+        raise SystemExit(f"unknown design in {text!r}: {exc}")
+
+
+def _config(design: Design, units: int, seed: int):
+    try:
+        return scaled_config(units, design, seed=seed)
+    except ValueError as exc:
+        raise SystemExit(f"invalid --units {units}: {exc}")
+
+
+def cmd_run(args) -> int:
+    design = Design(args.design.upper())
+    app = make_app(args.app, scale=args.scale, seed=args.seed)
+    result = run_app(app, _config(design, args.units, args.seed),
+                     verify=not args.no_verify)
+    print(metrics_table([result.metrics], title=f"{args.app} on {design.value}"))
+    if result.metrics.energy is not None:
+        print()
+        print(energy_table({f"{args.app}/{design.value}": result.metrics}))
+    return 0
+
+
+def cmd_matrix(args) -> int:
+    designs = _parse_designs(args.designs)
+    apps = [a.strip() for a in args.apps.split(",")]
+    known = set(APP_CLASSES) | set(EXTENSION_APPS)
+    for app_name in apps:
+        if app_name not in known:
+            raise SystemExit(f"unknown app {app_name!r}; "
+                             f"choose from {sorted(known)}")
+    results = {}
+    for app_name in apps:
+        results[app_name] = {}
+        for design in designs:
+            app = make_app(app_name, scale=args.scale, seed=args.seed)
+            metrics = run_app(
+                app, _config(design, args.units, args.seed)
+            ).metrics
+            results[app_name][design.value] = metrics
+    if args.json:
+        print(to_json(results))
+    else:
+        print(speedup_summary(
+            results, designs[0].value, [d.value for d in designs]
+        ))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Sweep one communication parameter across values (Fig.-16 style)."""
+    from dataclasses import replace
+
+    from .analysis.sweep import Variant, run_sweep
+
+    apps = [a.strip() for a in args.apps.split(",")]
+    values = [int(v) for v in args.values.split(",")]
+    variants = []
+    for value in values:
+        cfg = _config(Design.O, args.units, args.seed)
+        if args.param == "g_xfer":
+            cfg = cfg.replace(comm=replace(cfg.comm, g_xfer_bytes=value))
+        elif args.param == "i_state":
+            cfg = cfg.replace(comm=replace(cfg.comm, i_state_cycles=value))
+        elif args.param == "max_chunks":
+            cfg = cfg.replace(
+                comm=replace(cfg.comm, max_chunks_per_round=value)
+            )
+        else:
+            raise SystemExit(f"unknown sweep parameter {args.param!r}")
+        variants.append(Variant(f"{args.param}={value}", cfg))
+    result = run_sweep(variants, apps, scale=args.scale, seed=args.seed)
+    print(result.table(baseline=variants[0].label,
+                       title=f"{args.param} sweep (design O)"))
+    return 0
+
+
+def cmd_designs(_args) -> int:
+    for design in Design:
+        print(f"{design.value}: {design.name}")
+    return 0
+
+
+def cmd_apps(_args) -> int:
+    for name in sorted(APP_CLASSES):
+        print(name)
+    for name in sorted(EXTENSION_APPS):
+        print(f"{name} (extension)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="NDPBridge (ISCA 2024) reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one app on one design")
+    run_p.add_argument("--app", required=True,
+                       choices=sorted(APP_CLASSES) + sorted(EXTENSION_APPS))
+    run_p.add_argument("--design", required=True)
+    run_p.add_argument("--units", type=int, default=64)
+    run_p.add_argument("--scale", type=float, default=0.25)
+    run_p.add_argument("--seed", type=int, default=42)
+    run_p.add_argument("--no-verify", action="store_true")
+    run_p.set_defaults(fn=cmd_run)
+
+    matrix_p = sub.add_parser("matrix", help="app x design sweep")
+    matrix_p.add_argument("--apps", default="tree,bfs,pr")
+    matrix_p.add_argument("--designs", default="C,B,W,O")
+    matrix_p.add_argument("--units", type=int, default=64)
+    matrix_p.add_argument("--scale", type=float, default=0.25)
+    matrix_p.add_argument("--seed", type=int, default=42)
+    matrix_p.add_argument("--json", action="store_true")
+    matrix_p.set_defaults(fn=cmd_matrix)
+
+    sweep_p = sub.add_parser("sweep", help="parameter sweep on design O")
+    sweep_p.add_argument("--param", required=True,
+                         choices=["g_xfer", "i_state", "max_chunks"])
+    sweep_p.add_argument("--values", required=True,
+                         help="comma-separated values, first is baseline")
+    sweep_p.add_argument("--apps", default="tree,pr")
+    sweep_p.add_argument("--units", type=int, default=64)
+    sweep_p.add_argument("--scale", type=float, default=0.25)
+    sweep_p.add_argument("--seed", type=int, default=42)
+    sweep_p.set_defaults(fn=cmd_sweep)
+
+    sub.add_parser("designs", help="list designs").set_defaults(fn=cmd_designs)
+    sub.add_parser("apps", help="list applications").set_defaults(fn=cmd_apps)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

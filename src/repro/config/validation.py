@@ -1,0 +1,73 @@
+"""Configuration validation.
+
+``validate_config`` raises :class:`ConfigError` with a precise message for
+the first violated constraint.  Constraints encode physical requirements
+from the paper (e.g. messages are 64 B and ``G_xfer`` must be a multiple of
+them, Section V-B) plus basic sanity bounds.
+"""
+
+from __future__ import annotations
+
+from .system import Design, SystemConfig
+
+
+class ConfigError(ValueError):
+    """An invalid system configuration."""
+
+
+def validate_config(cfg: SystemConfig) -> SystemConfig:
+    """Check ``cfg`` for internal consistency; returns it unchanged."""
+    topo = cfg.topology
+    if topo.channels < 1:
+        raise ConfigError("need at least one channel")
+    if topo.ranks_per_channel < 1:
+        raise ConfigError("need at least one rank per channel")
+    if topo.chips_per_rank < 1 or topo.banks_per_chip < 1:
+        raise ConfigError("need at least one chip and one bank per chip")
+    if topo.dq_bits_per_chip * topo.chips_per_rank != topo.channel_bits:
+        raise ConfigError(
+            "chip DQ widths must tile the channel: "
+            f"{topo.chips_per_rank} chips x {topo.dq_bits_per_chip} bits "
+            f"!= {topo.channel_bits}-bit channel"
+        )
+
+    comm = cfg.comm
+    if comm.message_bytes <= 0:
+        raise ConfigError("message size must be positive")
+    if comm.g_xfer_bytes % comm.message_bytes != 0:
+        raise ConfigError(
+            f"G_xfer ({comm.g_xfer_bytes}) must be a multiple of the "
+            f"message size ({comm.message_bytes})"
+        )
+    if comm.i_state_cycles <= 0:
+        raise ConfigError("I_state must be positive")
+    if not (0.0 < comm.split_dimm_data_pin_fraction <= 1.0):
+        raise ConfigError("split-DIMM data pin fraction must be in (0, 1]")
+
+    if cfg.sketch.buckets < 1 or cfg.sketch.entries_per_bucket < 1:
+        raise ConfigError("sketch must have at least one bucket and entry")
+    if not cfg.sketch.decay_base > 1.0:
+        raise ConfigError("sketch decay base must exceed 1.0")
+
+    bal = cfg.balance
+    if bal.enabled and cfg.design in (Design.C, Design.H, Design.R):
+        raise ConfigError(
+            f"design {cfg.design.value} cannot use dynamic load balancing"
+        )
+    if not (0.0 < bal.steal_fraction <= 1.0):
+        raise ConfigError("steal fraction must be in (0, 1]")
+    if bal.budget_w_th_multiple <= 0:
+        raise ConfigError("budget multiple must be positive")
+    if bal.metadata_scale <= 0:
+        raise ConfigError("metadata scale must be positive")
+
+    if cfg.unit_mem.mailbox_bytes < comm.g_xfer_bytes:
+        raise ConfigError("unit mailbox must hold at least one G_xfer block")
+    if cfg.bridge.scatter_buffer_bytes_per_bank < comm.message_bytes:
+        raise ConfigError("scatter buffer must hold at least one message")
+
+    if cfg.core.freq_mhz <= 0:
+        raise ConfigError("core frequency must be positive")
+    if cfg.seed < 0:
+        raise ConfigError("seed must be non-negative")
+    return cfg

@@ -1,0 +1,141 @@
+"""DRAM bank timing model with an integrated access arbiter.
+
+Each bank is a single-server resource with an open-row buffer.  Accesses
+come from two masters -- the local NDP core's DMA and the upper-level
+bridge's gather/scatter traffic -- and the *access arbiter* (Section V-A)
+serializes them at the bank.  We model this by a busy-until horizon: an
+access starts no earlier than the previous one finished, pays row timing
+(tRP on a conflict + tRCD on an activation + tCAS), then streams data at
+the requesting master's bandwidth.
+
+The model follows the simplifications the paper inherits from [15]: no
+refresh, closed tFAW, etc.; those affect all designs equally and do not
+change relative results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import SystemConfig
+from ..sim import Simulator, StatsRegistry
+
+
+@dataclass(frozen=True)
+class BankAccess:
+    """Timing of one completed bank access."""
+
+    start: int
+    finish: int
+
+    @property
+    def latency(self) -> int:
+        return self.finish - self.start
+
+
+class DRAMBank:
+    """One bank: row-buffer state plus a busy horizon used as the arbiter."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        stats: StatsRegistry,
+        unit_id: int,
+    ):
+        self.sim = sim
+        self.config = config
+        self.unit_id = unit_id
+        self.busy_until = 0
+        self.open_row: Optional[int] = None
+        self._last_was_write = False
+        self._t_wtr = config.dram.cycles(config.dram.t_wtr_ns, config.cycle_ns)
+        self._refresh = config.dram.refresh_enabled
+        if self._refresh:
+            self._t_refi = config.dram.cycles(
+                config.dram.t_refi_ns, config.cycle_ns
+            )
+            self._t_rfc = config.dram.cycles(
+                config.dram.t_rfc_ns, config.cycle_ns
+            )
+            self._next_refresh = self._t_refi
+        scope = f"bank{unit_id}"
+        self._reads = stats.counter(scope, "reads_64bit")
+        self._writes = stats.counter(scope, "writes_64bit")
+        self._comm_words = stats.counter(scope, "comm_words_64bit")
+        self._local_words = stats.counter(scope, "local_words_64bit")
+        self._row_hits = stats.counter(scope, "row_hits")
+        self._row_misses = stats.counter(scope, "row_misses")
+        self._core_accesses = stats.counter(scope, "core_accesses")
+        self._bridge_accesses = stats.counter(scope, "bridge_accesses")
+        self._busy_cycles = stats.counter(scope, "busy_cycles")
+
+    def row_of(self, addr: int) -> int:
+        return addr // self.config.dram.row_bytes
+
+    def access(
+        self,
+        now: int,
+        addr: int,
+        nbytes: int,
+        is_write: bool,
+        bytes_per_cycle: float,
+        from_bridge: bool = False,
+    ) -> BankAccess:
+        """Reserve the bank for one access and return its timing.
+
+        ``bytes_per_cycle`` is the data-path bandwidth of the requesting
+        master (the core's DMA or the chip's DQ slice toward the bridge).
+        """
+        if nbytes <= 0:
+            raise ValueError("access size must be positive")
+        start = max(now, self.busy_until)
+        if self._refresh and start >= self._next_refresh:
+            # The bank was (or would be) taken by an all-bank refresh;
+            # the access waits out tRFC.
+            missed = 1 + (start - self._next_refresh) // self._t_refi
+            self._next_refresh += missed * self._t_refi
+            start += self._t_rfc
+            self.open_row = None
+        row = self.row_of(addr)
+        latency = 0
+        if self._last_was_write and not is_write:
+            latency += self._t_wtr
+        self._last_was_write = is_write
+        if self.open_row != row:
+            if self.open_row is not None:
+                latency += self.config.t_rp_cycles
+            latency += self.config.t_rcd_cycles
+            self.open_row = row
+            self._row_misses.add()
+        else:
+            self._row_hits.add()
+        latency += self.config.t_cas_cycles
+        latency += max(1, math.ceil(nbytes / bytes_per_cycle))
+        finish = start + latency
+        self.busy_until = finish
+        self._busy_cycles.add(latency)
+
+        words = max(1, math.ceil(nbytes / 8))
+        if is_write:
+            self._writes.add(words)
+        else:
+            self._reads.add(words)
+        if from_bridge:
+            self._bridge_accesses.add()
+            self._comm_words.add(words)
+        else:
+            self._core_accesses.add()
+            self._local_words.add(words)
+        return BankAccess(start=start, finish=finish)
+
+    # convenience views for energy accounting ------------------------------
+    @property
+    def total_reads_64bit(self) -> int:
+        return self._reads.value
+
+    @property
+    def total_writes_64bit(self) -> int:
+        return self._writes.value

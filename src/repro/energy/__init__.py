@@ -1,0 +1,6 @@
+"""Energy model."""
+
+from .accounting import EnergyBreakdown, account_energy
+from .area import AreaBreakdown, estimate_area
+
+__all__ = ["EnergyBreakdown", "account_energy", "AreaBreakdown", "estimate_area"]

@@ -1,0 +1,101 @@
+"""Area model for the added hardware (Section V-A, "Hardware cost").
+
+The paper synthesizes the added logic in TSMC 28 nm and models SRAM with
+CACTI 7.0, reporting:
+
+* bridge logic: 0.00252 mm^2; bridge SRAM (1.25 MB total): 1.46 mm^2 --
+  together 1.46% of a rank buffer chip;
+* per-NDP-unit logic: 0.000134 mm^2 plus 20.2 kB SRAM;
+* the load-balancing additions (toArrive counter, sketch, reserve-queue
+  bitmap) are < 2.2 kB SRAM per unit;
+* the rank-level dataBorrowed table (1 MB, 16-way) is 1.18 mm^2 = 1.18%
+  of the buffer chip;
+* the split-DIMM variant replicates router + command generator per DB
+  chip: 0.0201 mm^2 of logic for eight DBs.
+
+This module recomputes those totals from the configured structure sizes,
+using a bytes-per-mm^2 density fitted to the paper's published pairs, so
+area scales consistently when the configuration sweeps structure sizes
+(Fig. 16(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+
+#: SRAM density implied by the paper's 1.25 MB <-> 1.46 mm^2 pair.
+SRAM_BYTES_PER_MM2 = (1.25 * 1024 * 1024) / 1.46
+
+#: Logic blocks, from the paper's synthesis results (mm^2).
+BRIDGE_LOGIC_MM2 = 0.00252
+UNIT_LOGIC_MM2 = 0.000134
+SPLIT_DIMM_LOGIC_MM2 = 0.0201
+
+#: Reference rank buffer-chip area implied by "1.46 mm^2 is 1.46%".
+BUFFER_CHIP_MM2 = 100.0
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Added silicon per bridge and per NDP unit."""
+
+    bridge_logic_mm2: float
+    bridge_sram_mm2: float
+    unit_logic_mm2: float
+    unit_sram_mm2: float
+
+    @property
+    def bridge_total_mm2(self) -> float:
+        return self.bridge_logic_mm2 + self.bridge_sram_mm2
+
+    @property
+    def unit_total_mm2(self) -> float:
+        return self.unit_logic_mm2 + self.unit_sram_mm2
+
+    @property
+    def bridge_buffer_chip_fraction(self) -> float:
+        """Bridge additions as a fraction of the rank buffer chip."""
+        return self.bridge_total_mm2 / BUFFER_CHIP_MM2
+
+
+def bridge_sram_bytes(config: SystemConfig) -> int:
+    """Total SRAM the level-1 bridge adds (Table I)."""
+    topo = config.topology
+    scale = config.balance.metadata_scale
+    return int(
+        config.bridge.scatter_buffer_bytes_per_bank * topo.banks_per_rank
+        + config.bridge.backup_buffer_bytes
+        + config.bridge.mailbox_bytes
+        + config.bridge.databorrowed_bytes * scale
+    )
+
+
+def unit_sram_bytes(config: SystemConfig) -> int:
+    """SRAM the NDP unit controller adds (metadata + sketch + counters)."""
+    scale = config.balance.metadata_scale
+    sketch_bytes = (
+        config.sketch.buckets * config.sketch.entries_per_bucket
+        * (8 + config.sketch.counter_bytes)
+    )
+    reserve_bitmap = config.unit_mem.reserved_queue_chunks // 8
+    to_arrive_counter = 4
+    return int(
+        config.sram.islent_bytes * scale
+        + config.sram.databorrowed_bytes * scale
+        + sketch_bytes + reserve_bitmap + to_arrive_counter
+    )
+
+
+def estimate_area(config: SystemConfig) -> AreaBreakdown:
+    """Recompute the Section V-A area numbers for this configuration."""
+    bridge_logic = BRIDGE_LOGIC_MM2
+    if config.comm.split_dimm:
+        bridge_logic += SPLIT_DIMM_LOGIC_MM2
+    return AreaBreakdown(
+        bridge_logic_mm2=bridge_logic,
+        bridge_sram_mm2=bridge_sram_bytes(config) / SRAM_BYTES_PER_MM2,
+        unit_logic_mm2=UNIT_LOGIC_MM2,
+        unit_sram_mm2=unit_sram_bytes(config) / SRAM_BYTES_PER_MM2,
+    )

@@ -1,0 +1,5 @@
+"""Interconnect link models."""
+
+from .link import Link
+
+__all__ = ["Link"]

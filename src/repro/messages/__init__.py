@@ -1,0 +1,28 @@
+"""Message formats, mailboxes and bridge buffers."""
+
+from .types import (
+    DataMessage,
+    Message,
+    MessageType,
+    MESSAGE_BYTES,
+    StateMessage,
+    TaskMessage,
+    frame_bytes,
+    sub_message_count,
+)
+from .mailbox import Mailbox, MailboxFullError
+from .buffers import MessageBuffer
+
+__all__ = [
+    "DataMessage",
+    "Message",
+    "MessageType",
+    "MESSAGE_BYTES",
+    "StateMessage",
+    "TaskMessage",
+    "frame_bytes",
+    "sub_message_count",
+    "Mailbox",
+    "MailboxFullError",
+    "MessageBuffer",
+]

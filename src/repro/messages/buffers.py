@@ -1,0 +1,89 @@
+"""SRAM message buffers inside the bridges (Section V-A).
+
+The level-1 bridge holds, per child bank, a 1 kB *scatter buffer* of
+messages awaiting SCATTER; a shared *backup buffer* absorbing overflow; and
+a *mailbox region* for messages headed to the upper level.  All three are
+bounded SRAM structures -- when the backup buffer is also full the bridge
+pauses gathering, which is exactly the backpressure this class exposes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from .types import Message
+
+
+class MessageBuffer:
+    """A bounded FIFO of whole messages with byte accounting."""
+
+    def __init__(self, name: str, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("buffer capacity must be positive")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self._queue: Deque[Message] = deque()
+        self._used = 0
+        self.high_water = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    def fits(self, msg: Message) -> bool:
+        return msg.wire_bytes <= self.free_bytes
+
+    def push(self, msg: Message) -> bool:
+        if not self.fits(msg):
+            # A message larger than the whole buffer is physically a train
+            # of 64 B sub-messages streamed through it; accept it alone in
+            # an otherwise-empty buffer (store-and-forward minimum), else
+            # it could never traverse this hop at all.
+            if not (msg.wire_bytes > self.capacity_bytes and self.is_empty()):
+                return False
+        self._queue.append(msg)
+        self._used += msg.wire_bytes
+        if self._used > self.high_water:
+            self.high_water = self._used
+        return True
+
+    def pop(self) -> Optional[Message]:
+        if not self._queue:
+            return None
+        msg = self._queue.popleft()
+        self._used -= msg.wire_bytes
+        return msg
+
+    def peek(self) -> Optional[Message]:
+        return self._queue[0] if self._queue else None
+
+    def pop_up_to(self, budget_bytes: int) -> List[Message]:
+        """Pop whole messages from the head totalling <= ``budget_bytes``."""
+        out: List[Message] = []
+        taken = 0
+        while self._queue:
+            head = self._queue[0]
+            if taken + head.wire_bytes > budget_bytes and out:
+                break
+            if taken + head.wire_bytes > budget_bytes and not out:
+                # A single over-budget message still moves alone; the link
+                # model charges its true size.
+                out.append(self.pop())
+                break
+            out.append(self.pop())
+            taken += head.wire_bytes
+        return out
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MessageBuffer({self.name}, {self._used}/{self.capacity_bytes}B)"

@@ -1,0 +1,114 @@
+"""Mailbox ring buffer (Section V-A).
+
+Each NDP unit statically reserves a *mailbox region* in its local DRAM bank
+holding outgoing messages; the unit controller keeps the head and tail
+pointers.  New messages append at the tail; the parent bridge's GATHER
+drains from the head at ``G_xfer`` granularity.  When the region is full
+the next enqueue stalls -- modelled by ``enqueue`` returning ``False`` so
+the caller can block and retry after a drain.
+
+Because one message may be larger than a single gather (a 256 B data block
+with ``G_xfer`` = 64 B spans four gathers), the mailbox tracks how many
+bytes of the head message have already been fetched; a message is handed to
+the bridge only once fully transferred.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from .types import Message
+
+
+class MailboxFullError(RuntimeError):
+    """Raised by ``enqueue_or_raise`` when the ring buffer has no space."""
+
+
+class Mailbox:
+    """FIFO ring buffer of outgoing messages with byte accounting."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("mailbox capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._queue: Deque[Message] = deque()
+        self._used = 0
+        self._head_fetched = 0  # bytes of head message already gathered
+        self.high_water = 0
+        self.total_enqueued = 0
+        self.total_dequeued = 0
+
+    # -- producer side -----------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        """L_mailbox: bytes waiting to be gathered."""
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    def fits(self, msg: Message) -> bool:
+        return msg.wire_bytes <= self.free_bytes
+
+    def enqueue(self, msg: Message) -> bool:
+        """Append at the tail.  Returns False when the region is full."""
+        if not self.fits(msg):
+            return False
+        self._queue.append(msg)
+        self._used += msg.wire_bytes
+        self.total_enqueued += 1
+        if self._used > self.high_water:
+            self.high_water = self._used
+        return True
+
+    def enqueue_or_raise(self, msg: Message) -> None:
+        if not self.enqueue(msg):
+            raise MailboxFullError(
+                f"mailbox full ({self._used}/{self.capacity_bytes} bytes)"
+            )
+
+    # -- consumer (bridge GATHER) side --------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    def peek(self) -> Optional[Message]:
+        return self._queue[0] if self._queue else None
+
+    def fetch(self, budget_bytes: int) -> Tuple[List[Message], int]:
+        """Gather up to ``budget_bytes`` from the head.
+
+        Returns ``(completed_messages, bytes_taken)``.  A partially
+        fetched head message consumes budget but is only returned once its
+        final bytes are taken in a later call.
+        """
+        if budget_bytes <= 0:
+            raise ValueError("fetch budget must be positive")
+        completed: List[Message] = []
+        taken = 0
+        while self._queue and taken < budget_bytes:
+            head = self._queue[0]
+            remaining = head.wire_bytes - self._head_fetched
+            chunk = min(remaining, budget_bytes - taken)
+            taken += chunk
+            self._head_fetched += chunk
+            if self._head_fetched == head.wire_bytes:
+                completed.append(head)
+                self._queue.popleft()
+                self._used -= head.wire_bytes
+                self._head_fetched = 0
+                self.total_dequeued += 1
+        return completed, taken
+
+    def drain_all(self) -> List[Message]:
+        """Remove and return every queued message (host-forwarding path)."""
+        out = list(self._queue)
+        self._queue.clear()
+        self._used = 0
+        self._head_fetched = 0
+        self.total_dequeued += len(out)
+        return out

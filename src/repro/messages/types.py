@@ -1,0 +1,136 @@
+"""Message formats (paper Fig. 5).
+
+Three message types cross the bridges:
+
+* **task messages** move a task to the unit holding (or borrowing) its data
+  element;
+* **data messages** move a ``G_xfer``-sized data block for data-first load
+  balancing (either *lending* it to a receiver or *returning* it home);
+* **state messages** carry a child's state -- mailbox length, queued and
+  finished workload -- up to its bridge, optionally with the list of
+  blocks just scheduled out.
+
+Every message is framed into 64-byte sub-messages on the wire
+(``wire_bytes``); larger payloads span several sub-messages, matching the
+index field of Fig. 5.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..runtime.task import Task
+
+MESSAGE_BYTES = 64
+
+_message_ids = itertools.count()
+
+
+class MessageType(enum.Enum):
+    TASK = "task"
+    DATA = "data"
+    STATE = "state"
+
+
+def frame_bytes(payload_bytes: int, frame: int = MESSAGE_BYTES) -> int:
+    """Bytes on the wire after 64 B framing (sub-message padding)."""
+    if payload_bytes <= 0:
+        raise ValueError("payload must be positive")
+    return frame * math.ceil(payload_bytes / frame)
+
+
+def sub_message_count(payload_bytes: int, frame: int = MESSAGE_BYTES) -> int:
+    return frame_bytes(payload_bytes, frame) // frame
+
+
+@dataclass
+class Message:
+    """Base class: routing metadata shared by all message types."""
+
+    src_unit: int
+    dst_unit: Optional[int]          # None while awaiting bridge assignment
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    _wire_cache: Optional[int] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def mtype(self) -> MessageType:
+        raise NotImplementedError
+
+    @property
+    def payload_bytes(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def wire_bytes(self) -> int:
+        # Cached: the payload is fixed at construction and this is on the
+        # hot path of every buffer operation.
+        if self._wire_cache is None:
+            self._wire_cache = frame_bytes(self.payload_bytes)
+        return self._wire_cache
+
+    @property
+    def sub_messages(self) -> int:
+        return sub_message_count(self.payload_bytes)
+
+
+@dataclass
+class TaskMessage(Message):
+    """Push one task to a remote unit (remote child, or load balancing)."""
+
+    task: Task = None
+    lb_assigned: bool = False        # part of a load-balancing bundle
+    bounces: int = 0                 # times forwarded off a stale home
+
+    @property
+    def mtype(self) -> MessageType:
+        return MessageType.TASK
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.task.size_bytes
+
+
+@dataclass
+class DataMessage(Message):
+    """Move a data block for data-first scheduling (Section VI)."""
+
+    block_id: int = -1
+    block_bytes: int = 256
+    returning: bool = False          # block going back to its home unit
+    lb_pending: bool = False         # awaiting receiver assignment at bridge
+    bundle_workload: int = 0         # W of the tasks lent with this block
+    home_unit: int = -1              # original home of the block
+
+    @property
+    def mtype(self) -> MessageType:
+        return MessageType.DATA
+
+    @property
+    def payload_bytes(self) -> int:
+        # 16 B header (type/index/address) plus the block itself.
+        return 16 + self.block_bytes
+
+
+@dataclass
+class StateMessage(Message):
+    """Child state reported to the parent bridge (STATE-GATHER response)."""
+
+    mailbox_len: int = 0             # L_mailbox, bytes waiting
+    queue_workload: int = 0          # W_queue
+    finished_workload: int = 0       # W_finish
+    sched_out: Tuple = ()            # ((block_id, workload), ...) step 3
+    all_idle: bool = False           # level-1 -> level-2 escalation flag
+
+    @property
+    def mtype(self) -> MessageType:
+        return MessageType.STATE
+
+    @property
+    def payload_bytes(self) -> int:
+        return 24 + 12 * len(self.sched_out)

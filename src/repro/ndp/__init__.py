@@ -1,0 +1,6 @@
+"""NDP unit model (core + unit controller per bank)."""
+
+from .cache import HIT_LATENCY, L1Cache
+from .unit import NDPUnit, UnitState, MAX_BOUNCES
+
+__all__ = ["NDPUnit", "UnitState", "MAX_BOUNCES", "L1Cache", "HIT_LATENCY"]

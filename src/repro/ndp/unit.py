@@ -1,0 +1,630 @@
+"""The NDP unit: one wimpy core + unit controller per DRAM bank.
+
+This module models everything inside Fig. 4(b): the in-order core executing
+tasks from the in-DRAM task queue, the unit controller with its mailbox
+head/tail pointers, command handler and message handler, the borrowed-data
+region, and the load-balancing structures (isLent bitmap, dataBorrowed
+table, hot-data sketch, reserved queue).
+
+The unit is *passive* on the communication side: the parent bridge (or the
+host forwarder) pulls from its mailbox and pushes into its queues; the unit
+only appends outgoing messages and stalls when the mailbox ring is full.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..balance.metadata import DataBorrowedTable, IsLentBitmap
+from ..balance.reserved_queue import ReservedQueue
+from ..balance.sketch import HotDataSketch
+from ..config import SystemConfig
+from ..dram.bank import DRAMBank
+from ..messages import DataMessage, Mailbox, Message, TaskMessage
+from ..runtime.program import TaskContext
+from ..runtime.task import Task
+from ..sim import DeterministicRNG, Simulator, StatsRegistry
+
+#: Forwarded tasks park at their home unit after this many bounces.  The
+#: park is cheap to leave: the bridge pings the home unit when the lend's
+#: metadata lands (see Level1Bridge._record_assignment) and every state
+#: round retries as a backstop, so a small bounce budget minimizes wasted
+#: messages during the metadata-update window.
+MAX_BOUNCES = 1
+
+
+@dataclass
+class UnitState:
+    """State snapshot returned to a STATE-GATHER (Section V-B)."""
+
+    unit_id: int
+    mailbox_len: int          # L_mailbox (bytes)
+    queue_workload: int       # W_queue
+    finished_workload: int    # W_finish
+    busy_cycles: int = 0      # cycles spent executing (for S_exe)
+    sched_out: Tuple = ()     # blocks scheduled out since last snapshot
+    idle: bool = False
+
+
+@dataclass
+class _Bundle:
+    """One block plus the tasks lent with it (giver side)."""
+
+    block_id: int
+    tasks: List[Task]
+    workload: int
+
+
+class NDPUnit:
+    """One bank + core + controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        stats: StatsRegistry,
+        unit_id: int,
+        system: "object",
+        rng: DeterministicRNG,
+    ):
+        self.sim = sim
+        self.config = config
+        self.unit_id = unit_id
+        self.system = system                   # NDPSystem facade
+        self.rng = rng
+        self.bank = DRAMBank(sim, config, stats, unit_id)
+        self.mailbox = Mailbox(config.unit_mem.mailbox_bytes)
+        from .cache import L1Cache
+
+        self.cache = L1Cache.from_config(config)
+
+        block_bytes = config.comm.g_xfer_bytes
+        bank_bytes = config.topology.bank_capacity_mb * 1024 * 1024
+        self._base_block = unit_id * bank_bytes // block_bytes
+        scale = config.balance.metadata_scale
+        self.islent = IsLentBitmap(
+            config.sram.islent_bytes, self._base_block, scale
+        )
+        self.borrowed = DataBorrowedTable(
+            config.sram.databorrowed_bytes,
+            config.sram.databorrowed_ways,
+            scale,
+        )
+        self._borrow_slots = (
+            config.unit_mem.borrowed_region_bytes // block_bytes
+        )
+        self._next_borrow_slot = 0
+
+        self._hot = config.balance.enabled and config.balance.hot_selection
+        self.sketch: Optional[HotDataSketch] = None
+        self.reserved: Optional[ReservedQueue] = None
+        if self._hot:
+            self.sketch = HotDataSketch(config.sketch, rng.substream("sketch"))
+            self.reserved = ReservedQueue(
+                total_chunks=config.unit_mem.reserved_queue_chunks,
+                chunk_bytes=block_bytes,
+                static_chunks=(
+                    config.sketch.buckets * config.sketch.entries_per_bucket
+                ),
+            )
+
+        # Blocks the bridge recalled before their lend even arrived; they
+        # bounce straight home on delivery (see recall_block).
+        self._pending_recalls: set = set()
+        # Blocks selected for lending whose bundle still sits in the
+        # mailbox.  isLent is only committed when the bridge gathers the
+        # bundle and installs its dataBorrowed entry (atomically from the
+        # router's perspective), so no task ever bounces off a home whose
+        # block location the bridge cannot yet resolve.
+        self._lend_pending: set = set()
+
+        # Task storage.
+        self.queue: Deque[Task] = deque()
+        self.future: Dict[int, List[Task]] = {}
+        self.parked: Dict[int, List[Task]] = {}
+        self._queue_workload = 0
+
+        # Core state.
+        self.core_busy = False
+        self.blocked_on_mailbox = False
+        # Same-block spawn statistics: how often a task generates a child
+        # on its own data block.  A migrated block attracts that follow-up
+        # work "for free" (Section VI-C: migrated data automatically
+        # attract more tasks), so it multiplies a bundle's effective value.
+        self._exec_count = 0
+        self._same_block_spawns = 0
+        self._backlog: Deque[Message] = deque()
+        self.busy_cycles = 0
+        self.finish_time = 0
+        self.tasks_executed = 0
+        self.finished_workload = 0
+        self._sched_out_log: List[Tuple[int, int]] = []
+
+        scope = f"unit{unit_id}"
+        self._stat_forwarded = stats.counter(scope, "tasks_forwarded")
+        self._stat_bounced = stats.counter(scope, "tasks_bounced")
+        self._stat_parked = stats.counter(scope, "tasks_parked")
+        self._stat_lent = stats.counter(scope, "blocks_lent")
+        self._stat_borrowed = stats.counter(scope, "blocks_borrowed")
+        self._stat_returned = stats.counter(scope, "blocks_returned")
+        self._stat_stall = stats.counter(scope, "mailbox_stall_events")
+        self._stat_sram = stats.counter(scope, "sram_accesses")
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+    def block_of(self, addr: int) -> int:
+        return addr // self.config.comm.g_xfer_bytes
+
+    def is_home(self, block_id: int) -> bool:
+        return self.system.addr_map.unit_of_block(block_id) == self.unit_id
+
+    def holds_block(self, block_id: int) -> bool:
+        """Is the block's data locally accessible right now?"""
+        if self.is_home(block_id):
+            return not self.islent.is_lent(block_id)
+        self._stat_sram.add()
+        return self.borrowed.contains(block_id)
+
+    # ------------------------------------------------------------------
+    # task intake (spawned locally or scattered by the bridge)
+    # ------------------------------------------------------------------
+    def accept_task(self, task: Task, bounces: int = 0) -> None:
+        """Queue a task locally, or forward it toward its data block."""
+        block = self.block_of(task.data_addr)
+        if self.holds_block(block):
+            self._enqueue_local(task)
+            return
+        if self.is_home(block):
+            # Home unit but block lent out: the bridge metadata will
+            # redirect it.  After several bounces the block must be in
+            # return transit; park until it lands.
+            if bounces >= MAX_BOUNCES:
+                self.parked.setdefault(block, []).append(task)
+                self._stat_parked.add()
+                return
+            self._stat_bounced.add()
+            self._forward(task, bounces + 1)
+            return
+        self._forward(task, bounces)
+
+    def _forward(self, task: Task, bounces: int) -> None:
+        home = self.system.addr_map.unit_of_addr(task.data_addr)
+        msg = TaskMessage(
+            src_unit=self.unit_id, dst_unit=home, task=task, bounces=bounces
+        )
+        self._stat_forwarded.add()
+        self._send(msg)
+
+    def _enqueue_local(self, task: Task) -> None:
+        if task.ts > self.system.tracker.epoch:
+            self.future.setdefault(task.ts, []).append(task)
+            return
+        self._push_runnable(task)
+        self._try_start()
+
+    def _push_runnable(self, task: Task) -> None:
+        block = self.block_of(task.data_addr)
+        if self._hot:
+            result = self.sketch.observe(block, task.workload_estimate)
+            self._stat_sram.add()
+            if result.evicted_block is not None:
+                for evicted_task in self.reserved.evict(result.evicted_block):
+                    self.queue.append(evicted_task)
+            if result.resident and self.reserved.reserve(block, task):
+                self._queue_workload += task.workload_estimate
+                return
+        self.queue.append(task)
+        self._queue_workload += task.workload_estimate
+
+    # ------------------------------------------------------------------
+    # the core
+    # ------------------------------------------------------------------
+    @property
+    def queue_workload(self) -> int:
+        return self._queue_workload
+
+    @property
+    def idle(self) -> bool:
+        return not self.core_busy and self._queue_workload == 0
+
+    def _next_task(self) -> Optional[Task]:
+        while True:
+            # Reserved tasks execute with normal priority -- only their
+            # grouping (for hot-block scheduling) is special.  Preserve
+            # global arrival order: pull whichever of the main queue head
+            # and the oldest reserved chain head was created first.
+            use_reserved = False
+            if self._hot and self.reserved is not None:
+                reserved_id = self.reserved.oldest_task_id()
+                if reserved_id is not None:
+                    if not self.queue:
+                        use_reserved = True
+                    elif reserved_id < self.queue[0].task_id:
+                        use_reserved = True
+            if use_reserved:
+                block = self.reserved.oldest_block()
+                task = self.reserved.pop_one(block)
+                if task is None:
+                    continue
+                self._queue_workload -= task.workload_estimate
+                if not self.holds_block(block):
+                    self.accept_task(task)
+                    continue
+                return task
+            if not self.queue:
+                return None
+            task = self.queue.popleft()
+            self._queue_workload -= task.workload_estimate
+            block = self.block_of(task.data_addr)
+            if not self.holds_block(block):
+                # The block was lent away after this task was queued; it
+                # must chase its data (data-first execution).
+                self.accept_task(task)
+                continue
+            return task
+
+    def _try_start(self) -> None:
+        if self.core_busy or self.blocked_on_mailbox:
+            return
+        task = self._next_task()
+        if task is None:
+            return
+        self.core_busy = True
+        cfg = self.config.core
+        start = self.sim.now
+        # Fetch the task's data element: from the L1 SRAM on a hit, or
+        # from the local bank through the DMA engine on a miss (the access
+        # arbiter serializes bank traffic with the bridge).
+        from .cache import HIT_LATENCY
+
+        if self.cache.access(task.data_addr):
+            access_cycles = HIT_LATENCY
+        else:
+            access = self.bank.access(
+                now=start,
+                addr=task.data_addr
+                % (self.config.topology.bank_capacity_mb << 20),
+                nbytes=task.data_bytes,
+                is_write=False,
+                bytes_per_cycle=cfg.local_dma_bytes_per_cycle,
+            )
+            access_cycles = access.finish - start
+        duration = (
+            cfg.dispatch_overhead_cycles
+            + access_cycles
+            + self.system.registry.dispatch_cost(task)
+        )
+        self.sim.schedule(duration, lambda: self._complete(task, duration))
+
+    def _complete(self, task: Task, duration: int) -> None:
+        ctx = TaskContext(
+            unit_id=self.unit_id, now=self.sim.now,
+            epoch=self.system.tracker.epoch,
+        )
+        fn = self.system.registry.lookup(task.func)
+        fn(ctx, task)
+        children = ctx.spawned()
+        child_cost = self.config.core.enqueue_overhead_cycles * len(children)
+        self.busy_cycles += duration + child_cost
+        self.tasks_executed += 1
+        self.finished_workload += task.workload_estimate
+        self._exec_count += 1
+        parent_block = self.block_of(task.data_addr)
+        for child in children:
+            if self.block_of(child.data_addr) == parent_block:
+                self._same_block_spawns += 1
+
+        def _after_spawn() -> None:
+            self.finish_time = self.sim.now
+            for child in children:
+                self.system.spawn(self.unit_id, child)
+            self.core_busy = False
+            # Completion may end the epoch / the run.
+            self.system.tracker.task_completed(task.ts)
+            if not self.system.tracker.finished:
+                self._try_start()
+
+        if child_cost:
+            self.sim.schedule(child_cost, _after_spawn)
+        else:
+            _after_spawn()
+
+    # ------------------------------------------------------------------
+    # outgoing messages / mailbox stalls
+    # ------------------------------------------------------------------
+    def _send(self, msg: Message) -> None:
+        self.system.tracker.message_departed(
+            is_data=isinstance(msg, DataMessage)
+        )
+        # RowClone-style fabrics may short-circuit same-chip messages.
+        if self.system.fabric.try_direct(self, msg):
+            return
+        if self._backlog or not self.mailbox.enqueue(msg):
+            if not self._backlog:
+                self._stat_stall.add()
+            self._backlog.append(msg)
+            self.blocked_on_mailbox = True
+            return
+        self.system.fabric.notify_enqueue(self)
+
+    def on_mailbox_drained(self) -> None:
+        """Bridge gathered from our mailbox; retry backlogged messages."""
+        progressed = False
+        while self._backlog and self.mailbox.enqueue(self._backlog[0]):
+            self._backlog.popleft()
+            progressed = True
+        if progressed:
+            self.system.fabric.notify_enqueue(self)
+        if not self._backlog and self.blocked_on_mailbox:
+            self.blocked_on_mailbox = False
+            self._try_start()
+
+    # ------------------------------------------------------------------
+    # message handler (bridge SCATTER delivery)
+    # ------------------------------------------------------------------
+    def deliver_task_message(self, msg: TaskMessage) -> None:
+        self.system.tracker.message_delivered(is_data=False)
+        self.accept_task(msg.task, bounces=msg.bounces)
+
+    def deliver_data_message(self, msg: DataMessage) -> None:
+        self.system.tracker.message_delivered(is_data=True)
+        block = msg.block_id
+        if msg.returning:
+            # Our own block coming home.
+            self.islent.clear_lent(block)
+            self._stat_returned.add()
+            for task in self.parked.pop(block, []):
+                self.accept_task(task)
+            self._try_start()
+            return
+        # A borrowed block arriving (we are the receiver).
+        if msg.home_unit == self.unit_id:
+            # Our own block came back to us (e.g. a redirected self-lend):
+            # treat it as a return.
+            self.islent.clear_lent(block)
+            self._lend_pending.discard(block)
+            for task in self.parked.pop(block, []):
+                self.accept_task(task)
+            self._try_start()
+            return
+        if block in self._pending_recalls:
+            # The bridge lost track of this block while it was in flight
+            # and already asked for it back: return it without keeping it.
+            self._pending_recalls.discard(block)
+            self._return_block(block, msg.home_unit)
+            return
+        slot = self._next_borrow_slot % max(1, self._borrow_slots)
+        self._next_borrow_slot += 1
+        remapped = slot * self.config.comm.g_xfer_bytes
+        victim = self.borrowed.insert(block, remapped, msg.home_unit)
+        self._stat_borrowed.add()
+        self._stat_sram.add()
+        if victim is not None:
+            self._return_block(victim.block_id, victim.home_unit)
+        # Queued tasks skipped earlier may now find their block local.
+        self._try_start()
+
+    def _return_block(self, block_id: int, home_unit: int) -> None:
+        g = self.config.comm.g_xfer_bytes
+        self.cache.invalidate_range(block_id * g, g)
+        msg = DataMessage(
+            src_unit=self.unit_id,
+            dst_unit=home_unit,
+            block_id=block_id,
+            block_bytes=self.config.comm.g_xfer_bytes,
+            returning=True,
+            home_unit=home_unit,
+        )
+        self._send(msg)
+
+    def recall_block(self, block_id: int) -> None:
+        """Bridge lost track of this borrowed block: send it home."""
+        entry = self.borrowed.remove(block_id)
+        if entry is not None:
+            self._return_block(block_id, entry.home_unit)
+        else:
+            # The lend is still in transit toward us; return it on arrival.
+            self._pending_recalls.add(block_id)
+
+    # ------------------------------------------------------------------
+    # command handler: SCHEDULE (giver side of load balancing)
+    # ------------------------------------------------------------------
+    def handle_schedule(self, budget: int) -> None:
+        """Select ~``budget`` workload of tasks + blocks and mail them out."""
+        if budget <= 0:
+            return
+        bundles = self._select_bundles(budget)
+        # Selection may have pushed unlendable reserved tasks back to the
+        # main queue while the core sat idle; restart it.
+        self._try_start()
+        for bundle in bundles:
+            self._stat_lent.add()
+            self._sched_out_log.append((bundle.block_id, bundle.workload))
+            data = DataMessage(
+                src_unit=self.unit_id,
+                dst_unit=None,
+                block_id=bundle.block_id,
+                block_bytes=self.config.comm.g_xfer_bytes,
+                lb_pending=True,
+                bundle_workload=bundle.workload,
+                home_unit=self.unit_id,
+            )
+            self._send(data)
+            for task in bundle.tasks:
+                self._send(TaskMessage(
+                    src_unit=self.unit_id, dst_unit=None,
+                    task=task, lb_assigned=True,
+                ))
+
+    def _select_bundles(self, budget: int) -> List[_Bundle]:
+        selected: List[_Bundle] = []
+        total = 0
+        if self._hot:
+            # Hottest-first selection from the sketch + reserved queue.
+            # Selection is non-destructive: a chain that is unlendable or
+            # unprofitable (its work would not cover its own transfer
+            # time -- the "reduce transfer traffic" goal of Section VI-C)
+            # simply stays reserved, preserving execution order.
+            entries = sorted(
+                self.sketch.entries(),
+                key=lambda e: (-e.workload, e.block_id),
+            )
+            for entry in entries:
+                if total >= budget:
+                    break
+                block = entry.block_id
+                chain_workload = self.reserved.workload_of(block)
+                n_tasks = self.reserved.task_count(block)
+                if (
+                    n_tasks == 0
+                    or not self._lendable(block)
+                    or not self._bundle_profitable(chain_workload, n_tasks)
+                ):
+                    continue
+                self.sketch.remove(block)
+                tasks = self.reserved.extract(block)
+                self._queue_workload -= chain_workload
+                # Mark immediately so the tail fallback below (and any
+                # further SCHEDULE) cannot bundle the same block twice.
+                self._lend_pending.add(block)
+                selected.append(_Bundle(block, tasks, chain_workload))
+                total += chain_workload
+        if total < budget:
+            selected.extend(self._select_from_tail(budget - total))
+        return selected
+
+    def _select_from_tail(self, budget: int) -> List[_Bundle]:
+        """Traditional selection: tasks from the task queue tail."""
+        picked: Dict[int, _Bundle] = {}
+        skipped: List[Task] = []
+        total = 0
+        while self.queue and total < budget:
+            task = self.queue.pop()
+            block = self.block_of(task.data_addr)
+            if not self._lendable(block) and block not in picked:
+                skipped.append(task)
+                continue
+            self._queue_workload -= task.workload_estimate
+            bundle = picked.get(block)
+            if bundle is None:
+                self._lend_pending.add(block)
+                bundle = picked[block] = _Bundle(block, [], 0)
+            bundle.tasks.append(task)
+            bundle.workload += task.workload_estimate
+            total += task.workload_estimate
+        for task in reversed(skipped):
+            self.queue.append(task)
+        bundles: List[_Bundle] = []
+        for bundle in picked.values():
+            if self._hot and not self._bundle_profitable(
+                bundle.workload, len(bundle.tasks)
+            ):
+                # Data-transfer-aware designs refuse unprofitable moves;
+                # the classic work-stealing baseline (W) keeps them.
+                self._lend_pending.discard(bundle.block_id)
+                for task in bundle.tasks:
+                    self.queue.append(task)
+                    self._queue_workload += task.workload_estimate
+                continue
+            bundles.append(bundle)
+        return bundles
+
+    def commit_lend(self, block_id: int) -> None:
+        """The bridge gathered this block's bundle: it is now officially
+        elsewhere.  Called together with the bridge's dataBorrowed insert
+        so routing metadata never disagrees with the home bitmap."""
+        self._lend_pending.discard(block_id)
+        if self.islent.tracks(block_id):
+            self.islent.set_lent(block_id)
+        g = self.config.comm.g_xfer_bytes
+        self.cache.invalidate_range(block_id * g, g)
+
+    def _bundle_profitable(self, workload: int, n_tasks: int) -> bool:
+        """Is migrating this bundle worth its transfer time?
+
+        Two conditions, both transfer-aware (Section VI-C):
+
+        * the bundle's work (plus the follow-up chain its block will
+          attract) must cover its own pipe time -- otherwise the move
+          merely relocates a serial chain and pays traffic for it;
+        * the giver must retain enough *other* work to overlap the
+          transfer -- lending a dominant block from an otherwise-idle
+          unit stalls the giver for the whole pipe time at zero gain.
+        """
+        cfg = self.config
+        wire = cfg.comm.g_xfer_bytes + 64 * n_tasks
+        transfer_cycles = 2.0 * wire / cfg.chip_link_bytes_per_cycle
+        from .cache import HIT_LATENCY
+
+        work_cycles = workload + n_tasks * (
+            cfg.core.dispatch_overhead_cycles + HIT_LATENCY
+        )
+        # Follow-up credit: tasks that spawn children on their own block
+        # bring a geometric chain of future work along with the block.
+        if self._exec_count:
+            ratio = min(0.9, self._same_block_spawns / self._exec_count)
+            work_cycles /= (1.0 - ratio)
+        if work_cycles < transfer_cycles:
+            return False
+        remaining_after = self._queue_workload - workload
+        return remaining_after >= transfer_cycles / 2.0
+
+    def _lendable(self, block_id: int) -> bool:
+        """Home blocks within the isLent range that are not already lent."""
+        return (
+            self.is_home(block_id)
+            and self.islent.tracks(block_id)
+            and not self.islent.is_lent(block_id)
+            and block_id not in self._lend_pending
+        )
+
+    def retry_parked(self) -> None:
+        """Re-dispatch parked tasks (called each state round).
+
+        A task can park while the lend that displaced its block is still
+        being assigned; by the time the metadata settles nothing would
+        ever wake it.  Retrying sends it through the bridge once more: if
+        the borrow entry now exists it reaches the borrower, otherwise it
+        comes straight back and parks again until the block lands.
+        """
+        if not self.parked:
+            return
+        for block in list(self.parked):
+            tasks = self.parked.pop(block)
+            if self.holds_block(block):
+                for task in tasks:
+                    self.accept_task(task)
+            else:
+                for task in tasks:
+                    self._forward(task, MAX_BOUNCES - 1)
+        self._try_start()
+
+    # ------------------------------------------------------------------
+    # state gathering
+    # ------------------------------------------------------------------
+    def collect_state(self) -> UnitState:
+        sched_out = tuple(self._sched_out_log)
+        self._sched_out_log.clear()
+        return UnitState(
+            unit_id=self.unit_id,
+            mailbox_len=self.mailbox.used_bytes,
+            queue_workload=self._queue_workload,
+            finished_workload=self.finished_workload,
+            busy_cycles=self.busy_cycles,
+            sched_out=sched_out,
+            idle=self.idle,
+        )
+
+    # ------------------------------------------------------------------
+    # epoch barrier
+    # ------------------------------------------------------------------
+    def on_epoch(self, epoch: int) -> None:
+        for task in self.future.pop(epoch, []):
+            self._push_runnable(task)
+        self._try_start()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"NDPUnit({self.unit_id}, q={len(self.queue)})"

@@ -1,0 +1,23 @@
+"""Task-based programming model and runtime (Section IV)."""
+
+from .partition import AllocationError, DataArray, PartitionMap
+from .program import TaskContext, TaskRegistry
+from .runner import RunResult, VerificationError, build_system, run_app
+from .system import NDPSystem
+from .task import Task
+from .tracker import RunTracker
+
+__all__ = [
+    "AllocationError",
+    "DataArray",
+    "PartitionMap",
+    "TaskContext",
+    "TaskRegistry",
+    "RunResult",
+    "VerificationError",
+    "build_system",
+    "run_app",
+    "NDPSystem",
+    "Task",
+    "RunTracker",
+]

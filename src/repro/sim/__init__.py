@@ -1,0 +1,22 @@
+"""Discrete-event simulation kernel used by the NDPBridge model."""
+
+from .engine import Event, SimulationError, Simulator
+from .component import Component
+from .rng import DeterministicRNG
+from .tracing import NULL_TRACER, TraceRecord, Tracer
+from .stats import Accumulator, Counter, Histogram, StatsRegistry
+
+__all__ = [
+    "Event",
+    "SimulationError",
+    "Simulator",
+    "Component",
+    "DeterministicRNG",
+    "Accumulator",
+    "Counter",
+    "Histogram",
+    "StatsRegistry",
+    "NULL_TRACER",
+    "TraceRecord",
+    "Tracer",
+]

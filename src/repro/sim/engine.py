@@ -1,0 +1,156 @@
+"""Discrete-event simulation engine.
+
+The whole NDPBridge model runs on a single global event queue with integer
+time.  Time is measured in *NDP-core cycles* (400 MHz by default, i.e. one
+cycle is 2.5 ns).  Every hardware structure (banks, links, bridges, cores)
+is a :class:`~repro.sim.component.Component` that schedules callbacks on the
+shared :class:`Simulator`.
+
+The engine is deliberately small: a binary heap of ``(time, seq, callback)``
+entries, a monotonically increasing sequence number for deterministic
+tie-breaking, and a run loop with an optional stop condition that is checked
+after every event.  Determinism is a hard requirement -- two runs with the
+same seed must produce identical cycle counts -- so no wall-clock or hashing
+order ever influences event order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are handed back by :meth:`Simulator.schedule` so callers can
+    cancel them.  Cancellation is lazy: the entry stays in the heap but is
+    skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the run loop skips it."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Global event queue and clock.
+
+    Parameters
+    ----------
+    max_cycles:
+        Hard safety limit; the run loop raises :class:`SimulationError` if
+        the clock passes this value.  Protects against accidental infinite
+        simulations (e.g. a bridge that keeps rescheduling itself after the
+        workload has drained).
+    """
+
+    def __init__(self, max_cycles: int = 10_000_000_000):
+        self.now: int = 0
+        self.max_cycles = max_cycles
+        self._queue: List[Event] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + int(delay), callback)
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute cycle count."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time}, current time is {self.now}"
+            )
+        ev = Event(int(time), self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request the run loop to exit after the current event."""
+        self._stopped = True
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next non-cancelled event, or ``None`` if drained."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Process one event.  Returns ``False`` when the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            if ev.time > self.max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded max_cycles={self.max_cycles}"
+                )
+            self.now = ev.time
+            ev.callback()
+            self._events_processed += 1
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        stop_condition: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Run until the queue drains, ``until`` is passed, or a stop.
+
+        ``stop_condition`` is evaluated after every processed event; when it
+        returns ``True`` the loop exits.  Returns the final simulation time.
+        """
+        self._stopped = False
+        while not self._stopped:
+            nxt = self.peek_time()
+            if nxt is None:
+                break
+            if until is not None and nxt > until:
+                self.now = until
+                break
+            self.step()
+            if stop_condition is not None and stop_condition():
+                break
+        return self.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self.now}, pending={len(self._queue)})"

@@ -1,0 +1,78 @@
+"""Structured event tracing.
+
+An optional, zero-cost-when-disabled trace facility: components emit
+``(cycle, category, payload)`` records through a shared :class:`Tracer`.
+Used by tests to assert event orderings and by users to debug runs
+(``trace.filter("lend")`` etc.).  Categories are free-form dotted strings
+("bridge.gather", "unit.park", "lb.schedule").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    cycle: int
+    category: str
+    payload: Dict[str, object]
+
+    def __str__(self) -> str:
+        fields = " ".join(f"{k}={v}" for k, v in self.payload.items())
+        return f"[{self.cycle:>10}] {self.category}: {fields}"
+
+
+class Tracer:
+    """Collects trace records; disabled tracers drop everything."""
+
+    def __init__(self, enabled: bool = False, capacity: int = 1_000_000):
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+        self._clock: Optional[Callable[[], int]] = None
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        """Attach the simulator's ``now`` so emit() stamps cycles."""
+        self._clock = clock
+
+    def emit(self, category: str, **payload) -> None:
+        if not self.enabled:
+            return
+        if len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        cycle = self._clock() if self._clock is not None else 0
+        self.records.append(TraceRecord(cycle, category, payload))
+
+    # -- queries -----------------------------------------------------------
+    def filter(self, prefix: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.category.startswith(prefix)]
+
+    def count(self, prefix: str) -> int:
+        return sum(1 for r in self.records if r.category.startswith(prefix))
+
+    def categories(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.category] = out.get(r.category, 0) + 1
+        return out
+
+    def between(self, start: int, end: int) -> List[TraceRecord]:
+        return [r for r in self.records if start <= r.cycle < end]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    def dump(self, limit: int = 100) -> str:
+        lines = [str(r) for r in self.records[:limit]]
+        if len(self.records) > limit:
+            lines.append(f"... {len(self.records) - limit} more records")
+        return "\n".join(lines)
+
+
+#: A process-wide disabled tracer components fall back to.
+NULL_TRACER = Tracer(enabled=False)

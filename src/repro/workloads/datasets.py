@@ -1,0 +1,100 @@
+"""Named dataset registry.
+
+Substitutes for the real-world inputs the paper uses (SNAP graphs [55],
+SuiteSparse matrices [19]): each name maps to a deterministic synthetic
+generator whose *skew profile* mimics a class of real inputs.  Datasets
+are keyed so benchmarks and examples can refer to inputs by name, and
+scaled so one knob resizes a whole suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..sim import DeterministicRNG
+from .graphs import Graph, rmat_graph, uniform_graph
+from .matrices import SparseMatrix, banded_matrix, powerlaw_matrix
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One named dataset: its kind, base size and builder."""
+
+    name: str
+    kind: str                  # "graph" | "matrix"
+    description: str
+    base_size: int
+    build: Callable[[int, int], object]   # (size, seed) -> data
+
+
+def _pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+def _social(size: int, seed: int) -> Graph:
+    """Social-network-like: heavy power-law head (a=0.62)."""
+    rng = DeterministicRNG(seed, "dataset/social")
+    return rmat_graph(_pow2(size), 12, rng, a=0.62, b=0.17, c=0.17)
+
+
+def _web(size: int, seed: int) -> Graph:
+    """Web-crawl-like: extreme skew, sparse tail."""
+    rng = DeterministicRNG(seed, "dataset/web")
+    return rmat_graph(_pow2(size), 8, rng, a=0.67, b=0.15, c=0.14)
+
+
+def _road(size: int, seed: int) -> Graph:
+    """Road-network-like: near-uniform low degree, weighted."""
+    rng = DeterministicRNG(seed, "dataset/road")
+    return uniform_graph(size, 3, rng, weighted=True)
+
+
+def _scalefree_matrix(size: int, seed: int) -> SparseMatrix:
+    rng = DeterministicRNG(seed, "dataset/scalefree")
+    return powerlaw_matrix(size, size, 10, 1.4, rng)
+
+
+def _banded(size: int, seed: int) -> SparseMatrix:
+    return banded_matrix(size, 4)
+
+
+REGISTRY: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec("social", "graph",
+                    "power-law social graph (R-MAT a=0.62)", 4096, _social),
+        DatasetSpec("web", "graph",
+                    "extremely skewed web graph (R-MAT a=0.67)", 4096, _web),
+        DatasetSpec("road", "graph",
+                    "near-uniform weighted road network", 4096, _road),
+        DatasetSpec("scalefree-matrix", "matrix",
+                    "power-law row-degree sparse matrix", 4096,
+                    _scalefree_matrix),
+        DatasetSpec("banded-matrix", "matrix",
+                    "deterministic banded matrix (balanced contrast)",
+                    4096, _banded),
+    ]
+}
+
+
+def dataset_names(kind: str = None) -> List[str]:
+    return sorted(
+        name for name, spec in REGISTRY.items()
+        if kind is None or spec.kind == kind
+    )
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int = 1):
+    """Build a named dataset at ``scale`` times its base size."""
+    try:
+        spec = REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; choose from {dataset_names()}"
+        ) from None
+    size = max(16, int(spec.base_size * scale))
+    return spec.build(size, seed)

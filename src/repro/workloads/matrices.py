@@ -1,0 +1,71 @@
+"""Sparse matrix generators (substitute for SuiteSparse [19])."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..sim import DeterministicRNG
+
+
+@dataclass
+class SparseMatrix:
+    """Row-major sparse matrix: per-row column indices and values."""
+
+    n_rows: int
+    n_cols: int
+    cols: List[List[int]]
+    vals: List[List[float]]
+
+    @property
+    def nnz(self) -> int:
+        return sum(len(r) for r in self.cols)
+
+    def row_nnz(self, row: int) -> int:
+        return len(self.cols[row])
+
+    def multiply(self, x: List[float]) -> List[float]:
+        """Reference y = A x for verification."""
+        if len(x) != self.n_cols:
+            raise ValueError("dimension mismatch")
+        y = [0.0] * self.n_rows
+        for r in range(self.n_rows):
+            acc = 0.0
+            for c, v in zip(self.cols[r], self.vals[r]):
+                acc += v * x[c]
+            y[r] = acc
+        return y
+
+
+def powerlaw_matrix(
+    n_rows: int, n_cols: int, avg_nnz: int, skew: float,
+    rng: DeterministicRNG,
+) -> SparseMatrix:
+    """Rows with Pareto-distributed nnz counts -- the skewed regime that
+    makes spmv imbalanced across banks."""
+    if n_rows <= 0 or n_cols <= 0 or avg_nnz <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    cols: List[List[int]] = []
+    vals: List[List[float]] = []
+    alpha = max(1.05, 1.0 + 1.0 / max(skew, 1e-6))
+    # Pareto mean is alpha/(alpha-1); rescale to hit avg_nnz.
+    mean = alpha / (alpha - 1.0)
+    for _ in range(n_rows):
+        raw = rng.paretovariate(alpha) / mean * avg_nnz
+        nnz = max(1, min(n_cols, int(raw)))
+        chosen = sorted({rng.randint(0, n_cols - 1) for _ in range(nnz)})
+        cols.append(chosen)
+        vals.append([rng.uniform(0.1, 1.0) for _ in chosen])
+    return SparseMatrix(n_rows, n_cols, cols, vals)
+
+
+def banded_matrix(n: int, bandwidth: int) -> SparseMatrix:
+    """Deterministic banded matrix: the balanced contrast case."""
+    cols: List[List[int]] = []
+    vals: List[List[float]] = []
+    for r in range(n):
+        lo = max(0, r - bandwidth)
+        hi = min(n, r + bandwidth + 1)
+        cols.append(list(range(lo, hi)))
+        vals.append([1.0 / (abs(r - c) + 1) for c in range(lo, hi)])
+    return SparseMatrix(n, n, cols, vals)

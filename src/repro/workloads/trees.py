@@ -1,0 +1,95 @@
+"""Binary search tree construction for the tree-traversal workload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..sim import DeterministicRNG
+
+
+@dataclass
+class BinaryTree:
+    """Array-backed BST: node i has key ``keys[i]`` and child indices."""
+
+    keys: List[int]
+    left: List[int]      # -1 = no child
+    right: List[int]
+    root: int
+
+    @property
+    def n(self) -> int:
+        return len(self.keys)
+
+    def search_path(self, query: int) -> List[int]:
+        """Reference traversal: the node indices visited for ``query``."""
+        path = []
+        node = self.root
+        while node != -1:
+            path.append(node)
+            key = self.keys[node]
+            if key == query:
+                break
+            node = self.left[node] if query < key else self.right[node]
+        return path
+
+    def depth(self) -> int:
+        best = 0
+        stack = [(self.root, 1)]
+        while stack:
+            node, d = stack.pop()
+            if node == -1:
+                continue
+            best = max(best, d)
+            stack.append((self.left[node], d + 1))
+            stack.append((self.right[node], d + 1))
+        return best
+
+
+def balanced_bst(n: int) -> BinaryTree:
+    """A perfectly balanced BST over keys ``0..n-1``.
+
+    Node *indices* equal their keys, so a blocked partition places key
+    ranges contiguously in banks -- the layout the paper's Fig. 2 workflow
+    implies (child pointers usually cross banks near the root).
+    """
+    if n <= 0:
+        raise ValueError("tree must have at least one node")
+    keys = list(range(n))
+    left = [-1] * n
+    right = [-1] * n
+
+    def build(lo: int, hi: int) -> int:
+        if lo > hi:
+            return -1
+        mid = (lo + hi) // 2
+        left[mid] = build(lo, mid - 1)
+        right[mid] = build(mid + 1, hi)
+        return mid
+
+    root = build(0, n - 1)
+    return BinaryTree(keys=keys, left=left, right=right, root=root)
+
+
+def random_bst(n: int, rng: DeterministicRNG) -> BinaryTree:
+    """BST built from a random insertion order (depth ~ 2 ln n)."""
+    order = list(range(n))
+    rng.shuffle(order)
+    keys = list(range(n))
+    left = [-1] * n
+    right = [-1] * n
+    root = order[0]
+    for key in order[1:]:
+        node = root
+        while True:
+            if key < keys[node]:
+                if left[node] == -1:
+                    left[node] = key
+                    break
+                node = left[node]
+            else:
+                if right[node] == -1:
+                    right[node] = key
+                    break
+                node = right[node]
+    return BinaryTree(keys=keys, left=left, right=right, root=root)

@@ -1,0 +1,56 @@
+"""Zipfian sampling (Section VII: data/queries for ll, ht, tree [91]).
+
+Implements inverse-CDF sampling over a finite Zipf(s) distribution:
+``P(k) proportional to 1 / k**s`` for ranks ``k = 1..n``.  A skew of 0 is
+uniform; the paper-style skewed workloads use ``s`` around 0.8-1.2.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List
+
+from ..sim import DeterministicRNG
+
+
+class ZipfGenerator:
+    """Samples integers in ``[0, n)`` with Zipfian rank frequencies."""
+
+    def __init__(self, n: int, skew: float, rng: DeterministicRNG):
+        if n <= 0:
+            raise ValueError("population size must be positive")
+        if skew < 0:
+            raise ValueError("skew must be non-negative")
+        self.n = n
+        self.skew = skew
+        self.rng = rng
+        weights = [1.0 / ((k + 1) ** skew) for k in range(n)]
+        total = sum(weights)
+        cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        cdf[-1] = 1.0
+        self._cdf = cdf
+
+    def sample(self) -> int:
+        """One Zipf-distributed rank in ``[0, n)`` (0 is the hottest)."""
+        return bisect.bisect_left(self._cdf, self.rng.random())
+
+    def sample_many(self, count: int) -> List[int]:
+        return [self.sample() for _ in range(count)]
+
+    def probability(self, rank: int) -> float:
+        if not 0 <= rank < self.n:
+            raise IndexError(f"rank {rank} out of range")
+        lo = self._cdf[rank - 1] if rank > 0 else 0.0
+        return self._cdf[rank] - lo
+
+
+def shuffled_identity(n: int, rng: DeterministicRNG) -> List[int]:
+    """A permutation mapping Zipf ranks onto population indices, so the
+    hot items are scattered rather than clustered at index 0."""
+    perm = list(range(n))
+    rng.shuffle(perm)
+    return perm

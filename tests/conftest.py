@@ -1,0 +1,28 @@
+"""Shared fixtures for the NDPBridge test suite."""
+
+import pytest
+
+from repro.config import Design, tiny_config
+from repro.runtime.system import NDPSystem
+from repro.runtime.task import Task
+
+
+@pytest.fixture
+def tiny_system_b():
+    """A 16-unit design-B system with a trivial no-op task function."""
+    system = NDPSystem(tiny_config(Design.B))
+    system.registry.register("noop", lambda ctx, task: None)
+    return system
+
+
+@pytest.fixture
+def tiny_system_o():
+    """A 16-unit full-NDPBridge (design O) system."""
+    system = NDPSystem(tiny_config(Design.O))
+    system.registry.register("noop", lambda ctx, task: None)
+    return system
+
+
+def noop_task(addr: int, ts: int = 0, workload: int = 10) -> Task:
+    return Task(func="noop", ts=ts, data_addr=addr, workload=workload,
+                actual_cycles=workload)

@@ -1,0 +1,67 @@
+"""The simulator must never beat the analytic physics bounds."""
+
+import pytest
+
+from repro.analysis.analytic import (
+    WorkloadSummary,
+    communication_bound_cycles,
+    compute_bound_cycles,
+    makespan_lower_bound,
+    message_throughput_bytes_per_cycle,
+    summarize_run,
+)
+from repro.apps import make_app
+from repro.config import Design, default_config, tiny_config
+from repro.runtime.runner import run_app
+
+
+def test_bridge_fabric_throughput():
+    cfg = default_config(Design.B)
+    # 8 ranks x 8 chips x 6 B/c, halved for in+out = 192 B/c.
+    assert message_throughput_bytes_per_cycle(cfg) == pytest.approx(192.0)
+
+
+def test_host_fabric_throughput_pays_inefficiency():
+    b = message_throughput_bytes_per_cycle(default_config(Design.B))
+    c = message_throughput_bytes_per_cycle(default_config(Design.C))
+    assert c < b
+
+
+def test_compute_bound_scales_with_units():
+    w = WorkloadSummary(1000, 100_000, 0, 0, 500)
+    big = compute_bound_cycles(default_config(Design.B), w)
+    small = compute_bound_cycles(tiny_config(Design.B), w)
+    assert small > big
+
+
+def test_zero_messages_zero_comm_bound():
+    w = WorkloadSummary(10, 100, 0, 0, 50)
+    assert communication_bound_cycles(tiny_config(Design.B), w) == 0.0
+
+
+def test_lower_bound_includes_critical_path():
+    w = WorkloadSummary(10, 100, 0, 0, critical_unit_cycles=99_999)
+    assert makespan_lower_bound(tiny_config(Design.B), w) >= 99_999
+
+
+@pytest.mark.parametrize("design", [Design.C, Design.B, Design.W, Design.O])
+@pytest.mark.parametrize("app_name", ["ll", "tree", "pr"])
+def test_simulator_never_beats_physics(design, app_name):
+    result = run_app(make_app(app_name, scale=0.05, seed=11),
+                     tiny_config(design))
+    summary = summarize_run(result.system)
+    bound = makespan_lower_bound(result.system.config, summary)
+    assert result.metrics.makespan >= bound * 0.99, (
+        f"{design.value}/{app_name}: makespan {result.metrics.makespan} "
+        f"beats the physical bound {bound:.0f}"
+    )
+
+
+def test_saturating_workload_lands_near_compute_bound():
+    """An embarrassingly parallel, communication-free workload should
+    approach (within a small factor of) the compute roofline."""
+    result = run_app(make_app("spmv", scale=0.1, seed=11),
+                     tiny_config(Design.B))
+    summary = summarize_run(result.system)
+    bound = makespan_lower_bound(result.system.config, summary)
+    assert result.metrics.makespan <= 10 * bound

@@ -1,0 +1,63 @@
+"""Tests for the metadata consistency audit."""
+
+import pytest
+
+from repro.analysis.audit import audit_system
+from repro.apps import make_app
+from repro.config import Design, tiny_config
+from repro.runtime.runner import run_app
+
+
+@pytest.mark.parametrize("app_name", ["ll", "tree", "bfs", "pr"])
+def test_balanced_runs_pass_audit(app_name):
+    result = run_app(make_app(app_name, scale=0.05, seed=13),
+                     tiny_config(Design.O))
+    report = audit_system(result.system)
+    assert report.ok, str(report)
+
+
+def test_work_stealing_runs_pass_audit():
+    result = run_app(make_app("wcc", scale=0.05, seed=13),
+                     tiny_config(Design.W))
+    report = audit_system(result.system)
+    assert report.ok, str(report)
+
+
+def test_unbalanced_designs_trivially_pass():
+    result = run_app(make_app("tree", scale=0.05, seed=13),
+                     tiny_config(Design.B))
+    assert audit_system(result.system).ok
+
+
+def test_audit_detects_double_borrow():
+    result = run_app(make_app("ll", scale=0.05, seed=13),
+                     tiny_config(Design.O))
+    system = result.system
+    # Corrupt the metadata on purpose: two units claim the same block.
+    block = system.units[3]._base_block
+    system.units[3].islent.set_lent(block)
+    system.units[0].borrowed.insert(block, 0, 3)
+    system.units[1].borrowed.insert(block, 0, 3)
+    report = audit_system(system)
+    assert not report.ok
+    assert any("I1" in v for v in report.violations)
+
+
+def test_audit_detects_unmarked_borrow():
+    result = run_app(make_app("ll", scale=0.05, seed=13),
+                     tiny_config(Design.O))
+    system = result.system
+    block = system.units[5]._base_block
+    system.units[2].borrowed.insert(block, 0, 5)  # home never marked lent
+    report = audit_system(system)
+    assert any("I2" in v for v in report.violations)
+
+
+def test_audit_detects_stale_bridge_entry():
+    result = run_app(make_app("ll", scale=0.05, seed=13),
+                     tiny_config(Design.O))
+    system = result.system
+    bridge = system.fabric.rank_bridges[0]
+    bridge.borrowed.insert(999999, 7, 1)  # nobody holds this block
+    report = audit_system(system)
+    assert any("I3" in v for v in report.violations)

@@ -1,0 +1,54 @@
+"""Tests for the benchmark harness's shared helpers."""
+
+import pytest
+
+from benchmarks.common import (
+    ALL_APPS,
+    bench_config,
+    format_table,
+    geomean,
+    speedups_vs,
+)
+from repro.analysis.metrics import RunMetrics
+from repro.config import Design
+
+
+def metrics(makespan):
+    return RunMetrics(
+        design="X", app="a", makespan=makespan, avg_unit_time=1.0,
+        max_unit_time=makespan, wait_fraction=0.0, total_busy_cycles=1,
+        tasks_executed=1, task_messages=0, data_messages=0,
+    )
+
+
+def test_all_apps_are_the_papers_eight():
+    assert ALL_APPS == ["ll", "ht", "tree", "spmv", "bfs", "sssp", "pr",
+                        "wcc"]
+
+
+def test_bench_config_unit_override():
+    cfg = bench_config(Design.B, units=256)
+    assert cfg.topology.total_units == 256
+    assert cfg.design is Design.B
+
+
+def test_geomean():
+    assert geomean([4.0, 1.0]) == pytest.approx(2.0)
+    assert geomean([]) == 0.0
+
+
+def test_speedups_vs_baseline():
+    results = {
+        "tree": {"C": metrics(300), "O": metrics(100)},
+    }
+    s = speedups_vs(results, "C")
+    assert s["tree"]["O"] == pytest.approx(3.0)
+    assert s["tree"]["C"] == pytest.approx(1.0)
+
+
+def test_format_table_shape():
+    out = format_table("t", ["a", "b"], [[1, 2.5]])
+    lines = [l for l in out.splitlines() if l]
+    assert lines[0] == "=== t ==="
+    assert lines[1].split() == ["a", "b"]
+    assert "2.50" in lines[-1]

@@ -1,0 +1,102 @@
+"""Tests for the level-2 bridge: cross-rank routing and load balancing."""
+
+import pytest
+
+from repro.config import Design, SystemConfig, TopologyConfig
+from repro.runtime.system import NDPSystem
+from repro.runtime.task import Task
+
+from .conftest import noop_task
+
+
+def two_rank_config(design=Design.B, seed=7):
+    topo = TopologyConfig(
+        channels=1, ranks_per_channel=2, chips_per_rank=4, banks_per_chip=4,
+        channel_bits=32,
+    )
+    return SystemConfig(topology=topo, seed=seed).with_design(design)
+
+
+def make_system(design=Design.B):
+    system = NDPSystem(two_rank_config(design))
+    system.registry.register("noop", lambda ctx, task: None)
+    return system
+
+
+def bank_addr(system, unit_id, offset=0):
+    return unit_id * system.addr_map.bank_bytes + offset
+
+
+class TestCrossRankRouting:
+    def test_level2_exists_for_multi_rank(self):
+        sys_ = make_system()
+        assert sys_.has_level2
+        assert len(sys_.fabric.rank_bridges) == 2
+
+    def test_cross_rank_task_delivery(self):
+        sys_ = make_system()
+        # Unit 0 is in rank 0, unit 31 in rank 1.
+        def spawn(ctx, task):
+            ctx.enqueue_task("noop", task.ts, bank_addr(sys_, 31))
+
+        sys_.registry.register("spawn", spawn)
+        sys_.seed_task(Task(func="spawn", ts=0, data_addr=bank_addr(sys_, 0)))
+        sys_.run()
+        assert sys_.units[31].tasks_executed == 1
+        l2 = sys_.fabric.level2
+        assert l2._stat_routed.value >= 1
+        assert l2.channel_links[0].total_bytes > 0
+
+    def test_intra_rank_traffic_stays_below(self):
+        sys_ = make_system()
+
+        def spawn(ctx, task):
+            ctx.enqueue_task("noop", task.ts, bank_addr(sys_, 5))  # rank 0
+
+        sys_.registry.register("spawn", spawn)
+        sys_.seed_task(Task(func="spawn", ts=0, data_addr=bank_addr(sys_, 0)))
+        sys_.run()
+        assert sys_.fabric.level2._stat_routed.value == 0
+
+    def test_cross_rank_is_slower_than_intra_rank(self):
+        def run(dst):
+            sys_ = make_system()
+
+            def spawn(ctx, task):
+                ctx.enqueue_task("noop", task.ts, bank_addr(sys_, dst))
+
+            sys_.registry.register("spawn", spawn)
+            sys_.seed_task(Task(func="spawn", ts=0,
+                                data_addr=bank_addr(sys_, 0)))
+            sys_.run()
+            return sys_.makespan
+
+        assert run(31) > run(15)  # other rank vs same rank
+
+
+class TestCrossRankBalancing:
+    def test_idle_rank_receives_work(self):
+        sys_ = make_system(Design.O)
+        # Load only rank 0 heavily: many independent tasks on unit 3.
+        for i in range(400):
+            sys_.seed_task(noop_task(
+                bank_addr(sys_, 3, offset=i * 64), workload=400,
+            ))
+        sys_.run()
+        rank1_units = sys_.units[16:]
+        executed_rank1 = sum(u.tasks_executed for u in rank1_units)
+        assert executed_rank1 > 0, "cross-rank balancing never triggered"
+        l2 = sys_.fabric.level2
+        assert l2._stat_schedules.value >= 1
+
+    def test_balancing_beats_no_balancing_on_skew(self):
+        def run(design):
+            sys_ = make_system(design)
+            for i in range(400):
+                sys_.seed_task(noop_task(
+                    bank_addr(sys_, 3, offset=i * 64), workload=400,
+                ))
+            sys_.run()
+            return sys_.makespan
+
+        assert run(Design.O) < run(Design.B)

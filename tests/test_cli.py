@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_run_command(capsys):
+    rc = main([
+        "run", "--app", "ht", "--design", "B",
+        "--units", "64", "--scale", "0.05", "--seed", "3",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ht" in out
+    assert "makespan" in out
+    assert "energy" in out
+
+
+def test_matrix_command(capsys):
+    rc = main([
+        "matrix", "--apps", "ht", "--designs", "C,B",
+        "--units", "64", "--scale", "0.05",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "geomean" in out
+    assert "speedup over design C" in out
+
+
+def test_matrix_json(capsys):
+    rc = main([
+        "matrix", "--apps", "ht", "--designs", "C,B",
+        "--units", "64", "--scale", "0.05", "--json",
+    ])
+    assert rc == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert "ht" in payload and "B" in payload["ht"]
+
+
+def test_designs_and_apps_lists(capsys):
+    assert main(["designs"]) == 0
+    out = capsys.readouterr().out
+    assert "O" in out
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    assert "tree" in out
+
+
+def test_unknown_design_rejected():
+    with pytest.raises(SystemExit):
+        main(["matrix", "--designs", "Z", "--apps", "ht"])
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["matrix", "--designs", "C", "--apps", "sorting"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_sweep_command(capsys):
+    rc = main([
+        "sweep", "--param", "i_state", "--values", "1000,4000",
+        "--apps", "ht", "--units", "64", "--scale", "0.05",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "i_state sweep" in out
+    assert "i_state=1000" in out and "i_state=4000" in out
+
+
+def test_sweep_rejects_unknown_param():
+    import pytest as _pytest
+
+    with _pytest.raises(SystemExit):
+        main(["sweep", "--param", "bogus", "--values", "1"])
+
+
+def test_invalid_units_friendly_error():
+    with pytest.raises(SystemExit, match="invalid --units"):
+        main(["run", "--app", "ht", "--design", "B", "--units", "10",
+              "--scale", "0.05"])
+
+
+def test_apps_lists_extensions(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    assert "join (extension)" in out
+    assert "tc (extension)" in out

@@ -1,0 +1,30 @@
+"""Tests for the Component base class."""
+
+from repro.sim import Component, Simulator
+
+
+def test_naming_hierarchy():
+    sim = Simulator()
+    root = Component(sim, "system")
+    child = Component(sim, "rank0", parent=root)
+    leaf = Component(sim, "chip3", parent=child)
+    assert root.full_name == "system"
+    assert leaf.full_name == "system.rank0.chip3"
+
+
+def test_now_tracks_simulator():
+    sim = Simulator()
+    comp = Component(sim, "c")
+    assert comp.now == 0
+    sim.schedule(25, lambda: None)
+    sim.run()
+    assert comp.now == 25
+
+
+def test_schedule_delegates():
+    sim = Simulator()
+    comp = Component(sim, "c")
+    fired = []
+    comp.schedule(10, lambda: fired.append(comp.now))
+    sim.run()
+    assert fired == [10]

@@ -1,0 +1,138 @@
+"""Tests for configuration presets and validation (paper Table I)."""
+
+import pytest
+
+from repro.config import (
+    ConfigError,
+    Design,
+    SystemConfig,
+    TriggerMode,
+    default_config,
+    dq_width_config,
+    gxfer_config,
+    istate_config,
+    scaled_config,
+    sketch_config,
+    small_config,
+    split_dimm_config,
+    tiny_config,
+    trigger_mode_config,
+    validate_config,
+)
+
+
+def test_default_matches_table_i():
+    cfg = default_config()
+    assert cfg.topology.channels == 2
+    assert cfg.topology.ranks_per_channel == 4
+    assert cfg.topology.chips_per_rank == 8
+    assert cfg.topology.banks_per_chip == 8
+    assert cfg.topology.total_units == 512
+    assert cfg.topology.bank_capacity_mb == 64
+    assert cfg.core.freq_mhz == 400
+    assert cfg.comm.g_xfer_bytes == 256
+    assert cfg.comm.i_state_cycles == 2000
+    assert cfg.sketch.buckets == 16
+    assert cfg.sketch.entries_per_bucket == 16
+    validate_config(cfg)
+
+
+def test_link_bandwidths():
+    cfg = default_config()
+    # DDR4-2400, x8 chip: 2.4 GB/s = 6 bytes per 2.5 ns core cycle.
+    assert cfg.chip_link_bytes_per_cycle == pytest.approx(6.0)
+    # 64-bit channel: 19.2 GB/s = 48 bytes per cycle.
+    assert cfg.channel_bytes_per_cycle == pytest.approx(48.0)
+    # 17 ns at 400 MHz is 7 cycles.
+    assert cfg.t_cas_cycles == 7
+
+
+def test_design_matrix():
+    base = default_config()
+    assert not base.with_design(Design.C).balance.enabled
+    assert not base.with_design(Design.B).balance.enabled
+    w = base.with_design(Design.W)
+    assert w.balance.enabled
+    assert not w.balance.advance_trigger
+    assert not w.balance.fine_grained
+    assert not w.balance.hot_selection
+    assert w.balance.workload_correction
+    o = base.with_design(Design.O)
+    assert o.balance.enabled
+    assert o.balance.advance_trigger
+    assert o.balance.fine_grained
+    assert o.balance.hot_selection
+
+
+def test_scaled_configs():
+    for units in (64, 128, 256, 512, 1024):
+        cfg = scaled_config(units)
+        assert cfg.topology.total_units == units
+        validate_config(cfg)
+    with pytest.raises(ValueError):
+        scaled_config(100)
+
+
+def test_dq_width_configs():
+    x4 = dq_width_config(4)
+    assert x4.topology.total_units == 1024
+    assert x4.chip_link_bytes_per_cycle == pytest.approx(3.0)
+    x16 = dq_width_config(16)
+    assert x16.topology.total_units == 256
+    assert x16.chip_link_bytes_per_cycle == pytest.approx(12.0)
+    with pytest.raises(ValueError):
+        dq_width_config(32)
+
+
+def test_split_dimm_reduces_bandwidth():
+    cfg = split_dimm_config()
+    base = default_config()
+    assert cfg.chip_link_bytes_per_cycle == pytest.approx(
+        0.75 * base.chip_link_bytes_per_cycle
+    )
+    validate_config(cfg)
+
+
+def test_trigger_mode_config():
+    cfg = trigger_mode_config(TriggerMode.FIXED_2X)
+    assert cfg.comm.trigger_mode is TriggerMode.FIXED_2X
+
+
+def test_gxfer_config_validation():
+    cfg = gxfer_config(1024, metadata_scale=4.0)
+    assert cfg.comm.g_xfer_bytes == 1024
+    assert cfg.balance.metadata_scale == 4.0
+    with pytest.raises(ValueError):
+        gxfer_config(100)
+
+
+def test_istate_and_sketch_configs():
+    assert istate_config(500).comm.i_state_cycles == 500
+    sk = sketch_config(8, 32)
+    assert sk.sketch.buckets == 8
+    assert sk.sketch.entries_per_bucket == 32
+    with pytest.raises(ValueError):
+        istate_config(0)
+
+
+def test_validation_rejects_bad_topology():
+    cfg = default_config()
+    bad = cfg.replace(
+        topology=cfg.topology.__class__(chips_per_rank=3)
+    )
+    with pytest.raises(ConfigError):
+        validate_config(bad)
+
+
+def test_validation_rejects_lb_on_design_c():
+    cfg = default_config(Design.C)
+    bad = cfg.replace(balance=cfg.balance.__class__(enabled=True))
+    with pytest.raises(ConfigError):
+        validate_config(bad)
+
+
+def test_small_and_tiny_are_valid():
+    validate_config(small_config())
+    validate_config(tiny_config())
+    assert small_config().topology.total_units == 64
+    assert tiny_config().topology.total_units == 16

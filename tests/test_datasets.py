@@ -1,0 +1,60 @@
+"""Tests for the named dataset registry."""
+
+import pytest
+
+from repro.workloads.datasets import dataset_names, load_dataset
+from repro.workloads.graphs import Graph
+from repro.workloads.matrices import SparseMatrix
+
+
+def test_names_by_kind():
+    assert "social" in dataset_names("graph")
+    assert "scalefree-matrix" in dataset_names("matrix")
+    assert "social" not in dataset_names("matrix")
+
+
+def test_graph_datasets_build():
+    for name in dataset_names("graph"):
+        g = load_dataset(name, scale=0.25, seed=3)
+        assert isinstance(g, Graph)
+        assert g.n >= 16
+        assert g.m > 0
+
+
+def test_matrix_datasets_build():
+    for name in dataset_names("matrix"):
+        m = load_dataset(name, scale=0.25, seed=3)
+        assert isinstance(m, SparseMatrix)
+        assert m.nnz > 0
+
+
+def test_deterministic():
+    a = load_dataset("web", scale=0.25, seed=9)
+    b = load_dataset("web", scale=0.25, seed=9)
+    assert a.adj == b.adj
+
+
+def test_seed_matters():
+    a = load_dataset("road", scale=0.25, seed=1)
+    b = load_dataset("road", scale=0.25, seed=2)
+    assert a.adj != b.adj
+
+
+def test_skew_profiles_differ():
+    web = load_dataset("web", scale=1.0, seed=5)
+    road = load_dataset("road", scale=1.0, seed=5)
+    web_max = max(web.out_degree(v) for v in range(web.n))
+    road_max = max(road.out_degree(v) for v in range(road.n))
+    assert web_max / (web.m / web.n) > road_max / (road.m / road.n)
+
+
+def test_unknown_name():
+    with pytest.raises(KeyError):
+        load_dataset("twitter")
+
+
+def test_road_is_weighted():
+    g = load_dataset("road", scale=0.25, seed=1)
+    weights = [g.weight(v, i) for v in range(g.n)
+               for i in range(g.out_degree(v))]
+    assert any(w > 1 for w in weights)

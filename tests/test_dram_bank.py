@@ -1,0 +1,104 @@
+"""Tests for the DRAM bank timing model and access arbitration."""
+
+import pytest
+
+from repro.config import default_config
+from repro.dram import DRAMBank
+from repro.sim import Simulator, StatsRegistry
+
+
+def make_bank():
+    cfg = default_config()
+    return DRAMBank(Simulator(), cfg, StatsRegistry(), unit_id=0), cfg
+
+
+def test_first_access_pays_activation():
+    bank, cfg = make_bank()
+    acc = bank.access(0, addr=0, nbytes=64, is_write=False, bytes_per_cycle=8.0)
+    # tRCD + tCAS + 64/8 transfer cycles.
+    assert acc.latency == cfg.t_rcd_cycles + cfg.t_cas_cycles + 8
+    assert acc.start == 0
+
+
+def test_row_hit_is_cheaper():
+    bank, cfg = make_bank()
+    a1 = bank.access(0, 0, 64, False, 8.0)
+    a2 = bank.access(a1.finish, 64, 64, False, 8.0)  # same 1 kB row
+    assert a2.latency == cfg.t_cas_cycles + 8
+    assert a2.latency < a1.latency
+
+
+def test_row_conflict_pays_precharge():
+    bank, cfg = make_bank()
+    a1 = bank.access(0, 0, 64, False, 8.0)
+    a2 = bank.access(a1.finish, 4096, 64, False, 8.0)  # different row
+    assert a2.latency == cfg.t_rp_cycles + cfg.t_rcd_cycles + cfg.t_cas_cycles + 8
+
+
+def test_accesses_serialize():
+    bank, _ = make_bank()
+    a1 = bank.access(0, 0, 64, False, 8.0)
+    a2 = bank.access(0, 64, 64, False, 8.0)  # issued at the same time
+    assert a2.start == a1.finish
+    assert a2.finish > a1.finish
+
+
+def test_word_counters_split_by_master():
+    bank, _ = make_bank()
+    bank.access(0, 0, 64, False, 8.0, from_bridge=False)
+    bank.access(0, 64, 128, True, 8.0, from_bridge=True)
+    assert bank.total_reads_64bit == 8
+    assert bank.total_writes_64bit == 16
+    assert bank._local_words.value == 8
+    assert bank._comm_words.value == 16
+
+
+def test_zero_byte_access_rejected():
+    bank, _ = make_bank()
+    with pytest.raises(ValueError):
+        bank.access(0, 0, 0, False, 8.0)
+
+
+def test_row_hit_miss_counters():
+    bank, _ = make_bank()
+    bank.access(0, 0, 64, False, 8.0)
+    bank.access(0, 64, 64, False, 8.0)
+    bank.access(0, 4096, 64, False, 8.0)
+    assert bank._row_hits.value == 1
+    assert bank._row_misses.value == 2
+
+
+def test_write_to_read_turnaround():
+    bank, cfg = make_bank()
+    w = bank.access(0, 0, 64, True, 8.0)
+    r_after_w = bank.access(w.finish, 64, 64, False, 8.0)
+    # Same row, but the read pays the tWTR bubble after a write.
+    assert r_after_w.latency == cfg.t_cas_cycles + 8 + bank._t_wtr
+    r_after_r = bank.access(r_after_w.finish, 128, 64, False, 8.0)
+    assert r_after_r.latency == cfg.t_cas_cycles + 8
+
+
+def test_refresh_stalls_accesses():
+    from dataclasses import replace
+
+    from repro.config import default_config
+    from repro.dram import DRAMBank
+    from repro.sim import Simulator, StatsRegistry
+
+    cfg = default_config()
+    cfg = cfg.replace(dram=replace(cfg.dram, refresh_enabled=True))
+    bank = DRAMBank(Simulator(), cfg, StatsRegistry(), unit_id=0)
+    # Before the first tREFI nothing changes.
+    early = bank.access(0, 0, 64, False, 8.0)
+    assert early.start == 0
+    # An access issued past the refresh deadline waits out tRFC and
+    # reopens the row.
+    t = bank._next_refresh + 10
+    late = bank.access(t, 0, 64, False, 8.0)
+    assert late.start >= t + bank._t_rfc
+    assert late.latency >= cfg.t_rcd_cycles  # row was closed by refresh
+
+
+def test_refresh_disabled_by_default():
+    bank, cfg = make_bank()
+    assert not bank._refresh

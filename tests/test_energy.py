@@ -1,0 +1,83 @@
+"""Tests for the energy accounting model (Fig. 13 infrastructure)."""
+
+import pytest
+
+from repro.apps import make_app
+from repro.config import Design, tiny_config
+from repro.energy import EnergyBreakdown, account_energy
+from repro.runtime.runner import run_app
+from repro.sim import StatsRegistry
+
+
+def test_breakdown_totals():
+    b = EnergyBreakdown(core_sram_pj=10.0, local_dram_pj=20.0,
+                        comm_dram_pj=30.0, static_pj=40.0)
+    assert b.total_pj == 100.0
+    assert b.total_uj == pytest.approx(1e-4)
+    assert b.as_dict()["total_pj"] == 100.0
+
+
+def test_empty_run_has_only_static():
+    cfg = tiny_config(Design.B)
+    stats = StatsRegistry()
+    e = account_energy(cfg, stats, makespan_cycles=1000, total_busy_cycles=0)
+    assert e.core_sram_pj == 0
+    assert e.local_dram_pj == 0
+    assert e.comm_dram_pj == 0
+    assert e.static_pj > 0
+
+
+def test_core_energy_scales_with_busy_cycles():
+    cfg = tiny_config(Design.B)
+    stats = StatsRegistry()
+    e1 = account_energy(cfg, stats, 1000, total_busy_cycles=100)
+    e2 = account_energy(cfg, stats, 1000, total_busy_cycles=200)
+    assert e2.core_sram_pj == pytest.approx(2 * e1.core_sram_pj)
+    # 10 mW at 2.5 ns/cycle = 25 pJ per busy cycle.
+    assert e1.core_sram_pj == pytest.approx(100 * 25.0)
+
+
+def test_bank_words_split_local_vs_comm():
+    cfg = tiny_config(Design.B)
+    stats = StatsRegistry()
+    stats.counter("bank0", "local_words_64bit").add(10)
+    stats.counter("bank0", "comm_words_64bit").add(4)
+    e = account_energy(cfg, stats, 1000, 0)
+    assert e.local_dram_pj == pytest.approx(10 * 150.0)
+    assert e.comm_dram_pj == pytest.approx(4 * 150.0)
+
+
+def test_link_bytes_charged_to_comm():
+    cfg = tiny_config(Design.B)
+    stats = StatsRegistry()
+    stats.counter("bridge0.chip0", "bytes").add(100)
+    e = account_energy(cfg, stats, 1000, 0)
+    assert e.comm_dram_pj == pytest.approx(100 * 10.0)
+
+
+def test_bridge_designs_pay_bridge_static_power():
+    cfg_b = tiny_config(Design.B)
+    cfg_c = tiny_config(Design.C)
+    stats = StatsRegistry()
+    eb = account_energy(cfg_b, stats, 1000, 0)
+    ec = account_energy(cfg_c, stats, 1000, 0)
+    assert eb.static_pj > ec.static_pj
+
+
+def test_end_to_end_energy_populated():
+    result = run_app(make_app("tree", scale=0.03), tiny_config(Design.B))
+    energy = result.metrics.energy
+    assert energy is not None
+    assert energy.total_pj > 0
+    assert energy.local_dram_pj > 0
+    assert energy.comm_dram_pj > 0  # tree communicates
+
+
+def test_communication_free_app_has_less_comm_energy():
+    r_ll = run_app(make_app("ll", scale=0.03), tiny_config(Design.B))
+    r_tree = run_app(make_app("tree", scale=0.03), tiny_config(Design.B))
+    ll_frac = r_ll.metrics.energy.comm_dram_pj / r_ll.metrics.energy.total_pj
+    tree_frac = (
+        r_tree.metrics.energy.comm_dram_pj / r_tree.metrics.energy.total_pj
+    )
+    assert ll_frac < tree_frac

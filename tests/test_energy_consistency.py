@@ -1,0 +1,66 @@
+"""Cross-design energy consistency checks."""
+
+import pytest
+
+from repro.apps import make_app
+from repro.config import Design, tiny_config
+from repro.runtime.runner import run_app
+
+
+def run(app_name, design, scale=0.05, seed=6):
+    return run_app(make_app(app_name, scale=scale, seed=seed),
+                   tiny_config(design, seed=seed))
+
+
+def test_comm_energy_follows_traffic():
+    """tree on C moves every message through the host twice (with the
+    transposition penalty); its communication energy must exceed B's."""
+    c = run("tree", Design.C).metrics.energy
+    b = run("tree", Design.B).metrics.energy
+    assert c.comm_dram_pj > b.comm_dram_pj
+
+
+def test_static_energy_follows_makespan():
+    c = run("tree", Design.C)
+    b = run("tree", Design.B)
+    ratio_time = c.metrics.makespan / b.metrics.makespan
+    # B additionally pays bridge static power, so compare per-cycle.
+    c_static_rate = c.metrics.energy.static_pj / c.metrics.makespan
+    b_static_rate = b.metrics.energy.static_pj / b.metrics.makespan
+    assert b_static_rate > c_static_rate  # bridges leak
+    if ratio_time > 1.2:
+        assert c.metrics.energy.static_pj > b.metrics.energy.static_pj
+
+
+def test_core_energy_identical_for_identical_work():
+    """ll does identical local work under C and B (no messages at all),
+    so core+SRAM energy must match closely."""
+    c = run("ll", Design.C).metrics.energy
+    b = run("ll", Design.B).metrics.energy
+    assert c.core_sram_pj == pytest.approx(b.core_sram_pj, rel=0.15)
+
+
+def test_local_dram_energy_design_invariant():
+    """Local data accesses depend on the app, not the fabric."""
+    c = run("spmv", Design.C).metrics.energy
+    o = run("spmv", Design.O).metrics.energy
+    assert c.local_dram_pj == pytest.approx(o.local_dram_pj, rel=0.2)
+
+
+def test_energy_components_all_nonnegative():
+    for design in (Design.C, Design.B, Design.W, Design.O):
+        e = run("bfs", design).metrics.energy
+        assert e.core_sram_pj >= 0
+        assert e.local_dram_pj >= 0
+        assert e.comm_dram_pj >= 0
+        assert e.static_pj > 0
+
+
+def test_balancing_trades_comm_energy_for_runtime():
+    """O moves more bytes than B on a skewed workload but finishes no
+    later; the energy accounting must reflect both sides."""
+    b = run("ll", Design.O, scale=0.1)
+    base = run("ll", Design.B, scale=0.1)
+    if b.system.stats.sum_counters(".blocks_lent"):
+        assert b.metrics.energy.comm_dram_pj >= base.metrics.energy.comm_dram_pj
+        assert b.metrics.makespan <= base.metrics.makespan * 1.05

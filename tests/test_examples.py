@@ -1,0 +1,53 @@
+"""Smoke tests: the example scripts run end to end.
+
+Each example is executed in a subprocess exactly as a user would run it;
+only the cheapest one runs in full, the rest are import-checked so the
+suite stays fast.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_quickstart_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "makespan" in proc.stdout
+    assert "faster than host forwarding" in proc.stdout
+
+
+def test_custom_application_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "custom_application.py")],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "verified            : True" in proc.stdout
+
+
+@pytest.mark.parametrize("script", [
+    "graph_analytics.py",
+    "skewed_index_balancing.py",
+    "utilization_timeline.py",
+])
+def test_heavier_examples_compile(script):
+    proc = subprocess.run(
+        [sys.executable, "-m", "py_compile", str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_all_examples_present():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "graph_analytics.py",
+            "skewed_index_balancing.py", "custom_application.py",
+            "utilization_timeline.py"} <= names

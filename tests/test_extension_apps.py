@@ -1,0 +1,139 @@
+"""Tests for the extension applications (stencil, hist)."""
+
+import pytest
+
+from repro.apps import EXTENSION_APPS, make_app
+from repro.apps.histogram import HistogramApp
+from repro.apps.stencil import StencilApp
+from repro.config import Design, tiny_config
+from repro.runtime.runner import run_app
+
+
+class TestStencil:
+    def test_matches_reference(self):
+        app = StencilApp(width=16, height=16, steps=2, seed=4)
+        run_app(app, tiny_config(Design.B))
+        assert app.verify()
+
+    def test_two_epochs_per_step(self):
+        app = StencilApp(width=8, height=8, steps=3, seed=4)
+        result = run_app(app, tiny_config(Design.B))
+        assert result.system.tracker.epoch >= 2 * 3 - 1
+
+    def test_boundary_messages_only(self):
+        app = StencilApp(width=16, height=16, steps=1, seed=4)
+        result = run_app(app, tiny_config(Design.B))
+        # 256 cells over 16 units = 16 cells (one row) per unit: each row
+        # pushes to the rows above and below -> bounded message count.
+        assert 0 < result.metrics.task_messages <= 2 * 16 * 16
+
+    def test_runs_on_host(self):
+        app = StencilApp(width=8, height=8, steps=2, seed=4)
+        run_app(app, tiny_config(Design.H))
+        assert app.verify()
+
+    def test_corner_has_two_neighbors(self):
+        app = StencilApp(width=4, height=4)
+        assert sorted(app._neighbors(0)) == [1, 4]
+        assert len(app._neighbors(5)) == 4
+
+
+class TestHistogram:
+    def test_counts_match_reference(self):
+        app = HistogramApp(n_bins=64, n_items=500, seed=4)
+        run_app(app, tiny_config(Design.B))
+        assert app.verify()
+        assert sum(app.counts) == 500
+
+    def test_skew_concentrates_counts(self):
+        app = HistogramApp(n_bins=256, n_items=2000, skew=1.2, seed=4)
+        run_app(app, tiny_config(Design.B))
+        assert max(app.counts) > 5 * (sum(app.counts) / app.n_bins)
+
+    def test_balancer_declines_unprofitable_moves(self):
+        # Histogram is the adversarial case for data-first scheduling: a
+        # bin's increments serialize wherever the bin lives and spawn no
+        # follow-up work, so each candidate bundle fails the transfer-
+        # profitability test.  The data-transfer-aware policy must
+        # decline (or nearly decline) and stay within a whisker of B.
+        def run(design):
+            app = HistogramApp(n_bins=256, n_items=4000, skew=1.2, seed=4)
+            return run_app(app, tiny_config(design))
+
+        b = run(Design.B)
+        o = run(Design.O)
+        assert o.metrics.makespan <= 1.2 * b.metrics.makespan
+
+
+def test_factory_builds_extensions():
+    for name in EXTENSION_APPS:
+        app = make_app(name, scale=0.1, seed=2)
+        assert app.name == name
+
+
+def test_unknown_app_error_mentions_extensions():
+    with pytest.raises(KeyError, match="stencil"):
+        make_app("sorting")
+
+
+class TestHashJoin:
+    def test_match_count_correct(self):
+        from repro.apps.join import HashJoinApp
+
+        app = HashJoinApp(n_buckets=64, r_rows=300, s_rows=500,
+                          n_keys=64, seed=6)
+        run_app(app, tiny_config(Design.B))
+        assert app.matches == app.reference_matches()
+        assert app.matches > 0
+
+    def test_build_precedes_probe(self):
+        from repro.apps.join import HashJoinApp
+
+        app = HashJoinApp(n_buckets=64, r_rows=100, s_rows=100,
+                          n_keys=32, seed=6)
+        result = run_app(app, tiny_config(Design.B))
+        # The probe phase is a second epoch.
+        assert result.system.tracker.epoch >= 1
+
+    def test_correct_under_balancing(self):
+        from repro.apps.join import HashJoinApp
+
+        app = HashJoinApp(n_buckets=64, r_rows=400, s_rows=800,
+                          n_keys=64, skew=1.1, seed=6)
+        run_app(app, tiny_config(Design.O))
+        assert app.verify()
+
+
+class TestTriangleCount:
+    def test_count_matches_reference(self):
+        from repro.apps.triangles import TriangleCountApp
+
+        app = TriangleCountApp(n_vertices=128, avg_degree=6, seed=6)
+        run_app(app, tiny_config(Design.B))
+        assert app.triangles == app.reference_triangles()
+        assert app.triangles > 0
+
+    def test_known_small_graph(self):
+        from repro.apps.triangles import TriangleCountApp
+        from repro.workloads.graphs import Graph
+
+        # A 4-clique has exactly 4 triangles.
+        g = Graph(4, [[1, 2, 3], [0, 2, 3], [0, 1, 3], [0, 1, 2]])
+        app = TriangleCountApp(graph=g, seed=6)
+        run_app(app, tiny_config(Design.B))
+        assert app.triangles == 4
+
+    def test_large_payload_messages(self):
+        from repro.apps.triangles import TriangleCountApp
+
+        app = TriangleCountApp(n_vertices=128, avg_degree=8, seed=6)
+        result = run_app(app, tiny_config(Design.B))
+        # Adjacency payloads exceed one 64 B frame.
+        assert result.metrics.task_messages > 0
+
+    def test_correct_on_host(self):
+        from repro.apps.triangles import TriangleCountApp
+
+        app = TriangleCountApp(n_vertices=64, avg_degree=6, seed=6)
+        run_app(app, tiny_config(Design.H))
+        assert app.verify()

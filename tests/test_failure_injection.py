@@ -1,0 +1,106 @@
+"""Failure-injection tests: the harness must *detect* protocol faults.
+
+A simulator that silently absorbs lost messages or corrupted metadata
+produces plausible wrong numbers.  These tests inject faults and assert
+the detection machinery (tracker accounting, run-stall detection, audit)
+catches each one loudly.
+"""
+
+import pytest
+
+from repro.config import Design, tiny_config
+from repro.messages import Mailbox, TaskMessage
+from repro.runtime.system import NDPSystem
+from repro.runtime.task import Task
+from repro.sim import SimulationError
+
+from .conftest import noop_task
+
+
+def test_dropped_message_stalls_run_detectably():
+    """If a fabric drops a message, the run must end in SimulationError,
+    not silently complete with missing work."""
+    system = NDPSystem(tiny_config(Design.B))
+    system.registry.register("noop", lambda ctx, task: None)
+    bank = system.addr_map.bank_bytes
+
+    bridge = system.fabric.rank_bridges[0]
+    original = bridge._route_messages
+    dropped = []
+
+    def lossy(msgs):
+        if not dropped and msgs:
+            dropped.append(msgs[0])   # swallow exactly one message
+            msgs = msgs[1:]
+        original(msgs)
+
+    bridge._route_messages = lossy
+
+    def spawn(ctx, task):
+        for u in range(1, 6):
+            ctx.enqueue_task("noop", task.ts, u * bank, workload=5)
+
+    system.registry.register("spawn", spawn)
+    system.seed_task(Task(func="spawn", ts=0, data_addr=0))
+    with pytest.raises(SimulationError):
+        system.run()
+    assert dropped, "the fault was never injected"
+
+
+def test_double_completion_detected():
+    from repro.runtime.tracker import RunTracker
+
+    tracker = RunTracker()
+    tracker.task_created(0)
+    tracker.task_completed(0)
+    with pytest.raises(RuntimeError):
+        tracker.task_completed(0)
+
+
+def test_phantom_delivery_detected():
+    from repro.runtime.tracker import RunTracker
+
+    tracker = RunTracker()
+    with pytest.raises(RuntimeError):
+        tracker.message_delivered(is_data=False)
+
+
+def test_mailbox_overfill_raises_on_strict_path():
+    from repro.messages import MailboxFullError
+
+    mb = Mailbox(64)
+    mb.enqueue_or_raise(TaskMessage(
+        src_unit=0, dst_unit=1, task=Task(func="f", ts=0, data_addr=0),
+    ))
+    with pytest.raises(MailboxFullError):
+        mb.enqueue_or_raise(TaskMessage(
+            src_unit=0, dst_unit=1, task=Task(func="f", ts=0, data_addr=64),
+        ))
+
+
+def test_audit_catches_injected_orphan_borrow():
+    from repro.analysis.audit import audit_system
+    from repro.apps import make_app
+    from repro.runtime.runner import run_app
+
+    result = run_app(make_app("ll", scale=0.05, seed=2),
+                     tiny_config(Design.O))
+    system = result.system
+    # Orphan: a unit claims to hold a block nobody lent.
+    system.units[6].borrowed.insert(12345, 0, 1)
+    report = audit_system(system)
+    assert not report.ok
+    assert any("I2" in v for v in report.violations)
+
+
+def test_task_function_exception_propagates():
+    """Application bugs must surface, not vanish into the event loop."""
+    system = NDPSystem(tiny_config(Design.B))
+
+    def broken(ctx, task):
+        raise ZeroDivisionError("application bug")
+
+    system.registry.register("broken", broken)
+    system.seed_task(Task(func="broken", ts=0, data_addr=0))
+    with pytest.raises(ZeroDivisionError):
+        system.run()

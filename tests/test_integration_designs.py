@@ -1,0 +1,87 @@
+"""End-to-end integration: every design runs every app correctly.
+
+These are the heavyweight tests: each (design, app) pair builds a full
+16-unit system, runs to completion, and checks the distributed result
+against the app's reference implementation.  Workload conservation and
+determinism invariants are also verified here.
+"""
+
+import pytest
+
+from repro.apps import APP_CLASSES, make_app
+from repro.config import Design, tiny_config
+from repro.runtime.runner import run_app
+
+ALL_DESIGNS = [Design.C, Design.B, Design.W, Design.O, Design.R, Design.H]
+ALL_APPS = sorted(APP_CLASSES)
+
+
+@pytest.mark.parametrize("design", ALL_DESIGNS)
+@pytest.mark.parametrize("app_name", ALL_APPS)
+def test_design_app_matrix(design, app_name):
+    """The full Table-II matrix (plus H and R) at tiny scale, verified."""
+    app = make_app(app_name, scale=0.03, seed=5)
+    result = run_app(app, tiny_config(design), verify=True)
+    assert result.metrics.makespan > 0
+    assert result.metrics.tasks_executed > 0
+
+
+@pytest.mark.parametrize("design", [Design.C, Design.B, Design.O])
+def test_task_conservation(design):
+    """Every created task completes exactly once."""
+    app = make_app("tree", scale=0.05, seed=9)
+    result = run_app(app, tiny_config(design))
+    tr = result.system.tracker
+    assert tr.total_created == tr.total_completed
+    assert tr.task_messages_in_flight == 0
+    assert tr.data_messages_in_flight == 0
+
+
+@pytest.mark.parametrize("design", [Design.C, Design.B, Design.W, Design.O])
+def test_determinism(design):
+    """Same seed, same config -> identical cycle counts."""
+    def one():
+        app = make_app("bfs", scale=0.03, seed=11)
+        return run_app(app, tiny_config(design, seed=11)).metrics.makespan
+
+    assert one() == one()
+
+
+def test_seed_changes_outcome():
+    a = run_app(make_app("tree", scale=0.05, seed=1),
+                tiny_config(Design.O, seed=1)).metrics.makespan
+    b = run_app(make_app("tree", scale=0.05, seed=2),
+                tiny_config(Design.O, seed=2)).metrics.makespan
+    assert a != b
+
+
+def test_same_app_results_identical_across_designs():
+    """The computed answer must not depend on the hardware design."""
+    ranks = []
+    for design in (Design.C, Design.B, Design.O, Design.H):
+        app = make_app("pr", scale=0.05, seed=7)
+        run_app(app, tiny_config(design))
+        ranks.append([round(r, 12) for r in app.rank])
+    assert all(r == ranks[0] for r in ranks[1:])
+
+
+def test_balancing_executes_tasks_off_home():
+    """Design O actually runs tasks away from their data's home unit."""
+    app = make_app("ll", scale=0.1, seed=3)
+    result = run_app(app, tiny_config(Design.O))
+    lent = result.system.stats.sum_counters(".blocks_lent")
+    assert lent > 0
+
+
+def test_rowclone_uses_intra_chip_path():
+    app = make_app("tree", scale=0.05, seed=3)
+    result = run_app(app, tiny_config(Design.R))
+    copies = result.system.stats.sum_counters("rowclone.intra_chip_copies")
+    assert copies > 0
+
+
+def test_host_design_has_no_ndp_messages():
+    app = make_app("tree", scale=0.05, seed=3)
+    result = run_app(app, tiny_config(Design.H))
+    assert result.metrics.task_messages == 0
+    assert result.metrics.design == "H"

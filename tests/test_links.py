@@ -1,0 +1,67 @@
+"""Tests for the bandwidth-limited link model."""
+
+import pytest
+
+from repro.links import Link
+from repro.sim import Simulator, StatsRegistry
+
+
+def make_link(bpc=8.0, lat=0):
+    return Link(Simulator(), StatsRegistry(), "l", bpc, fixed_latency=lat)
+
+
+def test_transfer_time_matches_bandwidth():
+    link = make_link(bpc=8.0)
+    assert link.transfer(0, 64) == 8
+    assert link.transfer_cycles(64) == 8
+
+
+def test_transfers_serialize():
+    link = make_link(bpc=8.0)
+    f1 = link.transfer(0, 64)
+    f2 = link.transfer(0, 64)
+    assert f2 == f1 + 8
+
+
+def test_fixed_latency_added():
+    link = make_link(bpc=8.0, lat=5)
+    assert link.transfer(0, 64) == 13
+
+
+def test_idle_gap_respected():
+    link = make_link(bpc=8.0)
+    link.transfer(0, 64)           # busy until 8
+    finish = link.transfer(100, 8)  # starts at 100, not 8
+    assert finish == 101
+
+
+def test_byte_accounting_and_utilization():
+    link = make_link(bpc=8.0)
+    link.transfer(0, 64)
+    link.transfer(0, 64)
+    assert link.total_bytes == 128
+    assert link.total_busy_cycles == 16
+    assert link.utilization(32) == pytest.approx(0.5)
+
+
+def test_occupy_until_extends_horizon():
+    link = make_link(bpc=8.0)
+    link.occupy_until(20, 64)
+    assert link.busy_until == 20
+    assert link.total_bytes == 64
+    # Occupying a time already covered does not move the horizon back.
+    link.occupy_until(10, 8)
+    assert link.busy_until == 20
+
+
+def test_invalid_sizes_rejected():
+    link = make_link()
+    with pytest.raises(ValueError):
+        link.transfer(0, 0)
+    with pytest.raises(ValueError):
+        Link(Simulator(), StatsRegistry(), "bad", 0.0)
+
+
+def test_fractional_bandwidth_rounds_up():
+    link = make_link(bpc=6.0)
+    assert link.transfer_cycles(64) == 11  # ceil(64/6)

@@ -1,0 +1,108 @@
+"""Tests for the mailbox ring buffer (Section V-A)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.messages import DataMessage, Mailbox, MailboxFullError, TaskMessage
+from repro.runtime.task import Task
+
+
+def task_msg(i=0):
+    return TaskMessage(
+        src_unit=0, dst_unit=1,
+        task=Task(func="f", ts=0, data_addr=i * 64, workload=1),
+    )
+
+
+def test_enqueue_accounts_wire_bytes():
+    mb = Mailbox(1024)
+    msg = task_msg()
+    assert mb.enqueue(msg)
+    assert mb.used_bytes == msg.wire_bytes
+    assert mb.free_bytes == 1024 - msg.wire_bytes
+
+
+def test_full_mailbox_rejects():
+    mb = Mailbox(128)
+    assert mb.enqueue(task_msg(0))
+    assert mb.enqueue(task_msg(1))
+    assert not mb.enqueue(task_msg(2))  # 192 > 128
+    with pytest.raises(MailboxFullError):
+        mb.enqueue_or_raise(task_msg(3))
+
+
+def test_fetch_fifo_order():
+    mb = Mailbox(4096)
+    msgs = [task_msg(i) for i in range(5)]
+    for m in msgs:
+        mb.enqueue(m)
+    got, taken = mb.fetch(256)
+    assert got == msgs[:4]
+    assert taken == 256
+    got2, _ = mb.fetch(256)
+    assert got2 == msgs[4:]
+    assert mb.is_empty()
+
+
+def test_partial_fetch_of_large_message():
+    mb = Mailbox(4096)
+    big = DataMessage(src_unit=0, dst_unit=1, block_id=0, block_bytes=256)
+    mb.enqueue(big)  # 320 wire bytes
+    got, taken = mb.fetch(256)
+    assert got == [] and taken == 256
+    got, taken = mb.fetch(256)
+    assert got == [big] and taken == 64
+    assert mb.used_bytes == 0
+
+
+def test_high_water_tracking():
+    mb = Mailbox(1024)
+    for i in range(3):
+        mb.enqueue(task_msg(i))
+    mb.fetch(1024)
+    assert mb.high_water == 192
+    assert mb.total_enqueued == 3
+    assert mb.total_dequeued == 3
+
+
+def test_drain_all():
+    mb = Mailbox(1024)
+    msgs = [task_msg(i) for i in range(4)]
+    for m in msgs:
+        mb.enqueue(m)
+    assert mb.drain_all() == msgs
+    assert mb.is_empty()
+    assert mb.used_bytes == 0
+
+
+def test_invalid_construction_and_fetch():
+    with pytest.raises(ValueError):
+        Mailbox(0)
+    mb = Mailbox(64)
+    with pytest.raises(ValueError):
+        mb.fetch(0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=20), max_size=30),
+       st.integers(min_value=64, max_value=512))
+def test_byte_conservation_property(arg_counts, budget):
+    """Everything enqueued is eventually fetched, in order, exactly once."""
+    mb = Mailbox(1 << 20)
+    msgs = []
+    for i, n in enumerate(arg_counts):
+        m = TaskMessage(
+            src_unit=0, dst_unit=1,
+            task=Task(func="f", ts=0, data_addr=i, args=tuple(range(n))),
+        )
+        msgs.append(m)
+        assert mb.enqueue(m)
+    out = []
+    for _ in range(1000):
+        if mb.is_empty():
+            break
+        got, taken = mb.fetch(budget)
+        assert taken <= budget
+        out.extend(got)
+    assert out == msgs
+    assert mb.used_bytes == 0

@@ -1,0 +1,64 @@
+"""Tests for the bridge SRAM message buffers."""
+
+import pytest
+
+from repro.messages import MessageBuffer, TaskMessage
+from repro.runtime.task import Task
+
+
+def task_msg(i=0):
+    return TaskMessage(
+        src_unit=0, dst_unit=1,
+        task=Task(func="f", ts=0, data_addr=i * 64),
+    )
+
+
+def test_push_pop_fifo():
+    buf = MessageBuffer("b", 1024)
+    msgs = [task_msg(i) for i in range(4)]
+    for m in msgs:
+        assert buf.push(m)
+    assert [buf.pop() for _ in range(4)] == msgs
+    assert buf.pop() is None
+
+
+def test_capacity_enforced():
+    buf = MessageBuffer("b", 128)
+    assert buf.push(task_msg(0))
+    assert buf.push(task_msg(1))
+    assert not buf.push(task_msg(2))
+    assert buf.used_bytes == 128
+    assert buf.free_bytes == 0
+
+
+def test_pop_up_to_respects_budget():
+    buf = MessageBuffer("b", 4096)
+    for i in range(10):
+        buf.push(task_msg(i))
+    got = buf.pop_up_to(256)
+    assert len(got) == 4
+    assert buf.used_bytes == 6 * 64
+
+
+def test_pop_up_to_moves_oversized_head_alone():
+    from repro.messages import DataMessage
+
+    buf = MessageBuffer("b", 4096)
+    big = DataMessage(src_unit=0, dst_unit=1, block_id=0, block_bytes=1024)
+    buf.push(big)
+    buf.push(task_msg(1))
+    got = buf.pop_up_to(256)
+    assert got == [big]
+
+
+def test_high_water():
+    buf = MessageBuffer("b", 1024)
+    for i in range(3):
+        buf.push(task_msg(i))
+    buf.pop()
+    assert buf.high_water == 192
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        MessageBuffer("b", 0)

@@ -1,0 +1,47 @@
+"""collect_metrics coverage for the host-system branch."""
+
+from repro.analysis import collect_metrics
+from repro.apps import make_app
+from repro.baselines.host_system import HostSystem
+from repro.config import Design, tiny_config
+from repro.runtime.task import Task
+
+
+def test_host_metrics_fields():
+    host = HostSystem(tiny_config(Design.H))
+    host.registry.register("t", lambda ctx, task: None)
+    for i in range(8):
+        host.seed_task(Task(func="t", ts=0, data_addr=i * 4096,
+                            workload=130, actual_cycles=130,
+                            read_only=True))
+    host.run()
+    m = collect_metrics(host, "custom")
+    assert m.design == "H"
+    assert m.app == "custom"
+    assert m.makespan == host.makespan
+    assert m.tasks_executed == 8
+    # The host model has no NDP message fabric or energy accounting.
+    assert m.task_messages == 0
+    assert m.data_messages == 0
+    assert m.energy is None
+
+
+def test_host_avg_uses_busy_cycles():
+    host = HostSystem(tiny_config(Design.H))
+    host.registry.register("t", lambda ctx, task: None)
+    host.seed_task(Task(func="t", ts=0, data_addr=0,
+                        workload=1300, actual_cycles=1300))
+    host.run()
+    m = collect_metrics(host, "x")
+    # One of 16 cores did all the work.
+    assert m.avg_unit_time * 16 == sum(c.busy_cycles for c in host.cores)
+    assert 0 < m.avg_over_max <= 1.0
+
+
+def test_host_runs_full_app_through_collect():
+    from repro.runtime.runner import run_app
+
+    result = run_app(make_app("spmv", scale=0.03, seed=5),
+                     tiny_config(Design.H))
+    assert result.metrics.design == "H"
+    assert result.metrics.wait_fraction >= 0.0

@@ -1,0 +1,112 @@
+"""Tests for data partitioning across banks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import tiny_config
+from repro.dram import AddressMap
+from repro.runtime.partition import AllocationError, PartitionMap
+
+
+def make_pmap():
+    return PartitionMap(AddressMap(tiny_config()))
+
+
+def test_blocked_layout_contiguous_per_unit():
+    pm = make_pmap()
+    arr = pm.allocate("a", 160, 64)  # 16 units -> 10 elements per unit
+    assert arr.per_unit == 10
+    assert pm.home_unit(arr, 0) == 0
+    assert pm.home_unit(arr, 9) == 0
+    assert pm.home_unit(arr, 10) == 1
+    assert pm.elements_of_unit(arr, 1) == list(range(10, 20))
+
+
+def test_striped_layout_round_robin():
+    pm = make_pmap()
+    arr = pm.allocate("a", 160, 64, layout="striped")
+    assert pm.home_unit(arr, 0) == 0
+    assert pm.home_unit(arr, 1) == 1
+    assert pm.home_unit(arr, 16) == 0
+    assert pm.elements_of_unit(arr, 2) == list(range(2, 160, 16))
+
+
+def test_addr_round_trip_blocked():
+    pm = make_pmap()
+    arr = pm.allocate("a", 333, 32)
+    for i in range(0, 333, 7):
+        assert pm.index_of(arr, pm.addr_of(arr, i)) == i
+
+
+def test_addr_round_trip_striped():
+    pm = make_pmap()
+    arr = pm.allocate("a", 333, 32, layout="striped")
+    for i in range(0, 333, 7):
+        assert pm.index_of(arr, pm.addr_of(arr, i)) == i
+
+
+def test_addresses_fall_in_home_bank():
+    pm = make_pmap()
+    arr = pm.allocate("a", 160, 64)
+    amap = pm.addr_map
+    for i in range(160):
+        assert amap.unit_of_addr(pm.addr_of(arr, i)) == pm.home_unit(arr, i)
+
+
+def test_two_arrays_do_not_overlap():
+    pm = make_pmap()
+    a = pm.allocate("a", 160, 64)
+    b = pm.allocate("b", 160, 64)
+    addrs_a = {pm.addr_of(a, i) for i in range(160)}
+    addrs_b = {pm.addr_of(b, i) for i in range(160)}
+    assert not addrs_a & addrs_b
+
+
+def test_duplicate_name_rejected():
+    pm = make_pmap()
+    pm.allocate("a", 10, 8)
+    with pytest.raises(AllocationError):
+        pm.allocate("a", 10, 8)
+
+
+def test_bank_overflow_rejected():
+    pm = make_pmap()
+    with pytest.raises(AllocationError):
+        # 16 units x 64 MB banks; per-unit share would be 128 MB.
+        pm.allocate("huge", 16 * 2 * 1024 * 1024, 1024)
+
+
+def test_bad_args_rejected():
+    pm = make_pmap()
+    with pytest.raises(AllocationError):
+        pm.allocate("a", 0, 8)
+    with pytest.raises(AllocationError):
+        pm.allocate("b", 10, 8, layout="diagonal")
+
+
+def test_index_out_of_range():
+    pm = make_pmap()
+    arr = pm.allocate("a", 10, 8)
+    with pytest.raises(IndexError):
+        pm.addr_of(arr, 10)
+
+
+def test_foreign_address_rejected():
+    pm = make_pmap()
+    a = pm.allocate("a", 16, 64)
+    b = pm.allocate("b", 16, 64)
+    with pytest.raises(ValueError):
+        pm.index_of(a, pm.addr_of(b, 0))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=1000),
+       st.sampled_from([8, 32, 64, 256]),
+       st.sampled_from(["blocked", "striped"]))
+def test_round_trip_property(n, el, layout):
+    pm = make_pmap()
+    arr = pm.allocate("x", n, el, layout=layout)
+    for i in range(0, n, max(1, n // 17)):
+        addr = pm.addr_of(arr, i)
+        assert pm.index_of(arr, addr) == i
+        assert pm.addr_map.unit_of_addr(addr) == pm.home_unit(arr, i)

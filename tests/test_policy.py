@@ -1,0 +1,125 @@
+"""Tests for the data-transfer-aware scheduling policy (Section VI-C)."""
+
+import pytest
+
+from repro.balance import ChildLoad, SchedulingPolicy
+from repro.config import BalanceConfig
+from repro.sim import DeterministicRNG
+
+
+def make_policy(**kwargs) -> SchedulingPolicy:
+    cfg = BalanceConfig(enabled=True, **kwargs)
+    return SchedulingPolicy(cfg, DeterministicRNG(3, "policy"))
+
+
+def loads(*workloads, to_arrive=None):
+    to_arrive = to_arrive or [0] * len(workloads)
+    return [
+        ChildLoad(child_id=i, queue_workload=w, to_arrive=t)
+        for i, (w, t) in enumerate(zip(workloads, to_arrive))
+    ]
+
+
+class TestWTh:
+    def test_formula(self):
+        p = make_policy()
+        # W_th = 2 * G_xfer * S_exe / S_xfer
+        assert p.w_th(256, s_exe=0.5, s_xfer=6.0) == int(2 * 256 * 0.5 / 6.0)
+
+    def test_minimum_one(self):
+        p = make_policy()
+        assert p.w_th(64, s_exe=1e-9, s_xfer=6.0) == 1
+
+    def test_rejects_bad_speed(self):
+        p = make_policy()
+        with pytest.raises(ValueError):
+            p.w_th(256, 1.0, 0.0)
+
+
+class TestClassicStealing:
+    """All optimizations off: the W baseline."""
+
+    def test_steals_only_when_empty(self):
+        p = make_policy(advance_trigger=False, fine_grained=False)
+        # Nobody is empty -> no plans.
+        assert p.plan(loads(100, 50, 30), w_th=40) == []
+
+    def test_steals_half_the_victim(self):
+        p = make_policy(advance_trigger=False, fine_grained=False)
+        plans = p.plan(loads(0, 100), w_th=40)
+        assert len(plans) == 1
+        plan = plans[0]
+        assert plan.giver == 1
+        assert plan.budget == 50
+        assert plan.receivers == [(0, 50)]
+
+    def test_workload_correction_suppresses_double_steal(self):
+        p = make_policy(advance_trigger=False, fine_grained=False,
+                        workload_correction=True)
+        # Receiver already has 60 workload in flight -> not idle.
+        plans = p.plan(loads(0, 100, to_arrive=[60, 0]), w_th=40)
+        assert plans == []
+
+    def test_no_correction_ignores_in_flight(self):
+        p = make_policy(advance_trigger=False, fine_grained=False,
+                        workload_correction=False)
+        plans = p.plan(loads(0, 100, to_arrive=[60, 0]), w_th=40)
+        assert len(plans) == 1
+
+
+class TestAdvanceTrigger:
+    def test_schedules_before_empty(self):
+        p = make_policy(advance_trigger=True, fine_grained=True)
+        # Queue 10 < W_th 40: receiver even though not empty.
+        plans = p.plan(loads(10, 500), w_th=40)
+        assert len(plans) == 1
+        assert plans[0].giver == 1
+
+    def test_above_threshold_not_receiver(self):
+        p = make_policy(advance_trigger=True, fine_grained=True)
+        assert p.plan(loads(45, 500), w_th=40) == []
+
+
+class TestFineGrained:
+    def test_budget_is_target_minus_current(self):
+        p = make_policy(advance_trigger=True, fine_grained=True,
+                        budget_w_th_multiple=2.0, max_givers_per_receiver=1)
+        plans = p.plan(loads(10, 1000), w_th=40)
+        # Target 2*40 = 80, has 10 -> asks for 70.
+        assert plans[0].budget == 70
+
+    def test_budget_capped_by_giver_capacity(self):
+        p = make_policy(advance_trigger=True, fine_grained=True,
+                        max_givers_per_receiver=1)
+        plans = p.plan(loads(0, 85), w_th=40)
+        assert plans and plans[0].budget <= 85
+
+    def test_small_givers_not_victimized(self):
+        p = make_policy(advance_trigger=True, fine_grained=True)
+        # Giver must hold at least GIVER_MARGIN * w_th.
+        assert p.plan(loads(0, 50), w_th=40) == []
+
+
+def test_no_givers_no_plans():
+    p = make_policy(advance_trigger=False, fine_grained=False)
+    assert p.plan(loads(0, 0, 0), w_th=40) == []
+
+
+def test_multiple_receivers_share_givers():
+    p = make_policy(advance_trigger=True, fine_grained=True,
+                    max_givers_per_receiver=2)
+    plans = p.plan(loads(0, 0, 10_000, 10_000), w_th=40)
+    total_budget = sum(pl.budget for pl in plans)
+    receivers = {r for pl in plans for r, _ in pl.receivers}
+    assert receivers == {0, 1}
+    assert total_budget >= 2 * (2 * 40 - 0) // 2  # both receivers served
+
+
+def test_plan_is_deterministic_per_seed():
+    a = make_policy(advance_trigger=True, fine_grained=True)
+    b = make_policy(advance_trigger=True, fine_grained=True)
+    la = loads(0, 10, 500, 800, 900)
+    pa = a.plan(la, w_th=40)
+    pb = b.plan(la, w_th=40)
+    assert [(p.giver, p.budget, p.receivers) for p in pa] == \
+        [(p.giver, p.budget, p.receivers) for p in pb]

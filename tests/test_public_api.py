@@ -1,0 +1,71 @@
+"""The public API surface: everything __all__ promises must resolve."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.config",
+    "repro.dram",
+    "repro.links",
+    "repro.messages",
+    "repro.ndp",
+    "repro.bridge",
+    "repro.balance",
+    "repro.runtime",
+    "repro.apps",
+    "repro.workloads",
+    "repro.baselines",
+    "repro.energy",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_all_resolves(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", [])
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_top_level_quickstart_symbols():
+    import repro
+
+    for symbol in ("Design", "SystemConfig", "default_config", "make_app",
+                   "run_app", "NDPSystem", "RunMetrics", "Task"):
+        assert hasattr(repro, symbol)
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_docstrings_on_public_modules():
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a module docstring"
+
+
+def test_main_module_compiles():
+    import pathlib
+    import py_compile
+
+    import repro
+
+    path = pathlib.Path(repro.__file__).parent / "__main__.py"
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_extension_app_registry_complete():
+    from repro.apps import EXTENSION_APPS, make_app
+
+    assert set(EXTENSION_APPS) == {"stencil", "hist", "join", "tc"}
+    for name in EXTENSION_APPS:
+        assert make_app(name, scale=0.05).name == name

@@ -1,0 +1,118 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, lambda: order.append("c"))
+    sim.schedule(10, lambda: order.append("a"))
+    sim.schedule(20, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_time_events_run_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.schedule(7, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_schedule_from_callback():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(sim.now)
+        sim.schedule(5, lambda: seen.append(sim.now))
+
+    sim.schedule(10, first)
+    sim.run()
+    assert seen == [10, 15]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_cancelled_event_is_skipped():
+    sim = Simulator()
+    hits = []
+    ev = sim.schedule(10, lambda: hits.append(1))
+    ev.cancel()
+    sim.run()
+    assert hits == []
+    assert sim.now == 0  # nothing actually executed
+
+
+def test_run_until_time_bound():
+    sim = Simulator()
+    hits = []
+    sim.schedule(10, lambda: hits.append(10))
+    sim.schedule(100, lambda: hits.append(100))
+    sim.run(until=50)
+    assert hits == [10]
+    assert sim.now == 50
+    sim.run()
+    assert hits == [10, 100]
+
+
+def test_stop_condition_halts_loop():
+    sim = Simulator()
+    hits = []
+    for t in range(1, 6):
+        sim.schedule(t, lambda t=t: hits.append(t))
+    sim.run(stop_condition=lambda: len(hits) >= 3)
+    assert hits == [1, 2, 3]
+
+
+def test_max_cycles_guard():
+    sim = Simulator(max_cycles=100)
+
+    def reschedule():
+        sim.schedule(60, reschedule)
+
+    sim.schedule(60, reschedule)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for t in range(4):
+        sim.schedule(t + 1, lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    ev = sim.schedule(5, lambda: None)
+    sim.schedule(9, lambda: None)
+    ev.cancel()
+    assert sim.peek_time() == 9
+
+
+def test_step_returns_false_when_drained():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False

@@ -1,0 +1,51 @@
+"""Determinism tests for the named RNG streams."""
+
+from repro.sim import DeterministicRNG
+
+
+def test_same_seed_same_sequence():
+    a = DeterministicRNG(7)
+    b = DeterministicRNG(7)
+    assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+
+def test_different_seeds_differ():
+    a = DeterministicRNG(7)
+    b = DeterministicRNG(8)
+    assert [a.random() for _ in range(8)] != [b.random() for _ in range(8)]
+
+
+def test_substreams_independent_of_draw_order():
+    root1 = DeterministicRNG(42)
+    _ = [root1.random() for _ in range(5)]
+    s1 = root1.substream("unit3")
+
+    root2 = DeterministicRNG(42)
+    s2 = root2.substream("unit3")
+    assert [s1.random() for _ in range(10)] == [s2.random() for _ in range(10)]
+
+
+def test_substream_names_disjoint():
+    root = DeterministicRNG(1)
+    a = root.substream("a")
+    b = root.substream("b")
+    assert [a.random() for _ in range(8)] != [b.random() for _ in range(8)]
+
+
+def test_nested_substreams():
+    r = DeterministicRNG(5)
+    x = r.substream("x").substream("y")
+    x2 = DeterministicRNG(5).substream("x").substream("y")
+    assert x.randint(0, 10**9) == x2.randint(0, 10**9)
+
+
+def test_helpers_work():
+    r = DeterministicRNG(3)
+    assert 0 <= r.randint(0, 5) <= 5
+    assert r.choice([1, 2, 3]) in (1, 2, 3)
+    assert sorted(r.sample(range(10), 3))[0] >= 0
+    lst = list(range(6))
+    r.shuffle(lst)
+    assert sorted(lst) == list(range(6))
+    assert 1.0 <= r.uniform(1.0, 2.0) <= 2.0
+    assert r.paretovariate(2.0) >= 1.0

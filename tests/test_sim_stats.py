@@ -1,0 +1,64 @@
+"""Tests for the statistics registry."""
+
+from repro.sim import StatsRegistry
+
+
+def test_counter_identity_and_increment():
+    stats = StatsRegistry()
+    c1 = stats.counter("unit0", "reads")
+    c2 = stats.counter("unit0", "reads")
+    assert c1 is c2
+    c1.add()
+    c1.add(4)
+    assert c2.value == 5
+
+
+def test_counter_scoping():
+    stats = StatsRegistry()
+    stats.counter("unit0", "reads").add(3)
+    stats.counter("unit1", "reads").add(5)
+    assert stats.sum_counters(".reads") == 8
+    assert stats.counters_matching("unit0") == {"unit0.reads": 3}
+
+
+def test_accumulator_statistics():
+    stats = StatsRegistry()
+    acc = stats.accumulator("core", "latency")
+    for v in (10, 20, 30):
+        acc.observe(v)
+    assert acc.count == 3
+    assert acc.total == 60
+    assert acc.mean == 20
+    assert acc.min == 10
+    assert acc.max == 30
+
+
+def test_accumulator_empty_mean_is_zero():
+    stats = StatsRegistry()
+    assert stats.accumulator("x", "y").mean == 0.0
+
+
+def test_histogram_bucketing():
+    stats = StatsRegistry()
+    h = stats.histogram("q", "depth", [10, 100])
+    for v in (1, 10, 11, 100, 1000):
+        h.observe(v)
+    assert h.counts == [2, 2, 1]
+    assert h.total == 5
+
+
+def test_as_dict_round_trip():
+    stats = StatsRegistry()
+    stats.counter("a", "b").add(7)
+    stats.accumulator("c", "d").observe(2.5)
+    d = stats.as_dict()
+    assert d["a.b"] == 7
+    assert d["c.d"]["mean"] == 2.5
+
+
+def test_counter_reset():
+    stats = StatsRegistry()
+    c = stats.counter("s", "n")
+    c.add(9)
+    c.reset()
+    assert c.value == 0

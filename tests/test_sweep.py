@@ -1,0 +1,56 @@
+"""Tests for the parameter sweep helper."""
+
+import pytest
+
+from repro.analysis.sweep import SweepResult, Variant, run_sweep
+from repro.config import Design, tiny_config
+
+
+def variants():
+    return [
+        Variant("B", tiny_config(Design.B)),
+        Variant("O", tiny_config(Design.O)),
+    ]
+
+
+def test_sweep_runs_all_cells():
+    result = run_sweep(variants(), apps=["ht", "ll"], scale=0.03, seed=3)
+    assert set(result.cells) == {
+        ("B", "ht"), ("B", "ll"), ("O", "ht"), ("O", "ll"),
+    }
+    for metrics in result.cells.values():
+        assert metrics.makespan > 0
+
+
+def test_relative_performance_baseline_is_one():
+    result = run_sweep(variants(), apps=["ht"], scale=0.03, seed=3)
+    rel = result.relative_performance("B")
+    assert rel["B"] == pytest.approx(1.0)
+    assert rel["O"] > 0
+
+
+def test_table_contains_all_labels():
+    result = run_sweep(variants(), apps=["ht"], scale=0.03, seed=3)
+    out = result.table(baseline="B", title="designs")
+    assert "designs" in out
+    assert "B" in out and "O" in out and "geomean" in out
+
+
+def test_on_cell_callback_fires():
+    seen = []
+    run_sweep(
+        variants(), apps=["ht"], scale=0.03, seed=3,
+        on_cell=lambda v, a, m: seen.append((v, a, m.makespan)),
+    )
+    assert len(seen) == 2
+
+
+def test_duplicate_labels_rejected():
+    with pytest.raises(ValueError):
+        run_sweep([Variant("x", tiny_config()), Variant("x", tiny_config())],
+                  apps=["ht"])
+
+
+def test_empty_sweep_rejected():
+    with pytest.raises(ValueError):
+        run_sweep([], apps=["ht"])

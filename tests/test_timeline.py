@@ -1,0 +1,56 @@
+"""Tests for the ASCII utilization timeline."""
+
+import pytest
+
+from repro.analysis.timeline import (
+    SHADES,
+    UnitActivity,
+    render_timeline,
+    system_timeline,
+    utilization_summary,
+)
+from repro.apps import make_app
+from repro.config import Design, tiny_config
+from repro.runtime.runner import run_app
+
+
+def test_idle_unit_renders_blank():
+    acts = [UnitActivity(0, busy_cycles=0, finish_time=0)]
+    out = render_timeline(acts, makespan=100, columns=10)
+    assert "|" + SHADES[0] * 10 + "|" in out
+
+
+def test_busy_unit_renders_dense():
+    acts = [UnitActivity(0, busy_cycles=100, finish_time=100)]
+    out = render_timeline(acts, makespan=100, columns=10)
+    assert SHADES[-1] * 10 in out
+    assert "100.0% busy" in out
+
+
+def test_early_finisher_has_trailing_blank():
+    acts = [UnitActivity(3, busy_cycles=50, finish_time=50)]
+    out = render_timeline(acts, makespan=100, columns=20)
+    bar = out.split("|")[1]
+    assert bar.endswith(SHADES[0] * 5)
+
+
+def test_row_downsampling():
+    acts = [UnitActivity(i, 10, 10) for i in range(100)]
+    out = render_timeline(acts, makespan=100, max_rows=10)
+    assert "elided" in out
+    assert out.count("unit") <= 15
+
+
+def test_min_columns_enforced():
+    with pytest.raises(ValueError):
+        render_timeline([], makespan=10, columns=4)
+
+
+def test_system_timeline_end_to_end():
+    result = run_app(make_app("ll", scale=0.05, seed=3),
+                     tiny_config(Design.B))
+    out = system_timeline(result.system, columns=30)
+    assert "design B" in out
+    assert out.count("unit") >= 10
+    mean, median, peak = utilization_summary(result.system)
+    assert 0.0 <= mean <= peak <= 1.0

@@ -1,0 +1,52 @@
+"""Tests for the structured tracer."""
+
+from repro.sim.tracing import NULL_TRACER, Tracer
+
+
+def test_disabled_tracer_drops_everything():
+    t = Tracer(enabled=False)
+    t.emit("x", a=1)
+    assert t.records == []
+    NULL_TRACER.emit("y")
+    assert NULL_TRACER.records == []
+
+
+def test_emit_and_filter():
+    t = Tracer(enabled=True)
+    t.emit("bridge.gather", unit=3)
+    t.emit("bridge.scatter", unit=4)
+    t.emit("unit.park", block=7)
+    assert t.count("bridge") == 2
+    assert t.count("bridge.gather") == 1
+    assert [r.payload["block"] for r in t.filter("unit")] == [7]
+
+
+def test_clock_binding():
+    t = Tracer(enabled=True)
+    now = [0]
+    t.bind_clock(lambda: now[0])
+    t.emit("a")
+    now[0] = 50
+    t.emit("b")
+    assert [r.cycle for r in t.records] == [0, 50]
+    assert t.between(10, 100) == [t.records[1]]
+
+
+def test_capacity_limit():
+    t = Tracer(enabled=True, capacity=2)
+    for i in range(5):
+        t.emit("x", i=i)
+    assert len(t.records) == 2
+    assert t.dropped == 3
+
+
+def test_categories_and_dump():
+    t = Tracer(enabled=True)
+    t.emit("a.b")
+    t.emit("a.b")
+    t.emit("c")
+    assert t.categories() == {"a.b": 2, "c": 1}
+    dump = t.dump(limit=2)
+    assert "1 more" in dump
+    t.clear()
+    assert t.records == [] and t.dropped == 0

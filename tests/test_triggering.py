@@ -1,0 +1,58 @@
+"""Tests for dynamic communication triggering (Section V-C)."""
+
+from repro.config import CommConfig, TriggerMode
+from repro.bridge.triggering import CommTrigger
+
+
+def make_trigger(mode=TriggerMode.DYNAMIC, g_xfer=256):
+    return CommTrigger(CommConfig(g_xfer_bytes=g_xfer, trigger_mode=mode))
+
+
+def should(trigger, now=1000, last=0, i_min=100, lens=(), idle=False,
+           internal=False):
+    return trigger.should_start_round(now, last, i_min, lens, idle, internal)
+
+
+class TestDynamic:
+    def test_no_traffic_no_round(self):
+        t = make_trigger()
+        assert not should(t, lens=[0, 0, 0])
+
+    def test_full_mailbox_triggers_immediately(self):
+        t = make_trigger()
+        assert should(t, now=1, last=0, lens=[0, 256, 0])
+
+    def test_partial_mailbox_waits_for_idle_child(self):
+        t = make_trigger()
+        # Some traffic but nobody idle and below G_xfer: wait.
+        assert not should(t, lens=[100], idle=False)
+        # An idle child exists and I_min has elapsed: go.
+        assert should(t, now=200, last=0, i_min=100, lens=[100], idle=True)
+
+    def test_idle_child_respects_i_min(self):
+        t = make_trigger()
+        assert not should(t, now=50, last=0, i_min=100, lens=[100], idle=True)
+
+    def test_internal_pending_drains(self):
+        t = make_trigger()
+        assert should(t, now=200, last=0, i_min=100, lens=[0],
+                      internal=True)
+        assert not should(t, now=50, last=0, i_min=100, lens=[0],
+                          internal=True)
+
+    def test_does_not_gather_empty_children(self):
+        t = make_trigger()
+        assert not t.gathers_empty_children()
+
+
+class TestFixed:
+    def test_fixed_interval(self):
+        t = make_trigger(TriggerMode.FIXED)
+        assert should(t, now=100, last=0, i_min=100, lens=[0])
+        assert not should(t, now=99, last=0, i_min=100, lens=[0])
+        assert t.gathers_empty_children()
+
+    def test_fixed_2x_interval(self):
+        t = make_trigger(TriggerMode.FIXED_2X)
+        assert not should(t, now=150, last=0, i_min=100, lens=[256])
+        assert should(t, now=200, last=0, i_min=100, lens=[0])
