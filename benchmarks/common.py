@@ -16,8 +16,10 @@ how much), never absolute cycle counts.
 
 from __future__ import annotations
 
+import json
 import math
 import os
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro import Design, make_app, run_app
@@ -35,6 +37,22 @@ SWEEP_APPS = ["ll", "tree", "pr"]
 
 #: Seed shared by all benchmark runs (results are fully deterministic).
 BENCH_SEED = 17
+
+
+#: Where the engine perf trajectory is recorded (repo root).
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def record_bench(key: str, payload: dict) -> None:
+    """Merge one measurement into ``BENCH_engine.json`` under ``key``."""
+    data: Dict[str, object] = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[key] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def bench_config(
@@ -59,7 +77,9 @@ def run_one(
 def geomean(values: Iterable[float]) -> float:
     vals = [v for v in values]
     if not vals:
-        return 0.0
+        # Returning 0.0 here once silently poisoned speedup aggregation
+        # (an empty app list looked like an infinite slowdown).
+        raise ValueError("geomean of an empty sequence is undefined")
     return math.exp(sum(math.log(max(v, 1e-12)) for v in vals) / len(vals))
 
 
@@ -106,13 +126,18 @@ def run_matrix(
     config_of=None,
     scale: Optional[float] = None,
 ) -> Dict[str, Dict[str, RunMetrics]]:
-    """Run the (app x design) matrix; ``config_of(design)`` overrides."""
-    results: Dict[str, Dict[str, RunMetrics]] = {}
-    for app_name in apps:
-        results[app_name] = {}
-        for design in designs:
-            cfg = config_of(design) if config_of else None
-            results[app_name][design.value] = run_one(
-                app_name, design, config=cfg, scale=scale
-            )
-    return results
+    """Run the (app x design) matrix; ``config_of(design)`` overrides.
+
+    Cells fan out over a process pool and hit the on-disk result cache
+    (see :mod:`repro.exec`); ``NDPBRIDGE_JOBS`` and
+    ``NDPBRIDGE_CACHE_DIR`` / ``NDPBRIDGE_CACHE=0`` control both.
+    """
+    from repro.exec import run_matrix as exec_run_matrix
+
+    return exec_run_matrix(
+        apps,
+        designs,
+        config_of=config_of if config_of is not None else bench_config,
+        scale=scale if scale is not None else BENCH_SCALE,
+        seed=BENCH_SEED,
+    )

@@ -74,20 +74,30 @@ def run_sweep(
     on_cell: Optional[Callable[[str, str, RunMetrics], None]] = None,
 ) -> SweepResult:
     """Execute every (variant, app) cell of the sweep."""
-    # Imported lazily: the app/runtime layers build on analysis.
-    from ..apps import make_app
-    from ..runtime.runner import run_app
-
     if not variants:
         raise ValueError("a sweep needs at least one variant")
     labels = [v.label for v in variants]
     if len(set(labels)) != len(labels):
         raise ValueError("variant labels must be unique")
     result = SweepResult(variants=labels, apps=list(apps))
+    # Cells fan out over the process pool and on-disk cache of
+    # ``repro.exec``; order of the request list fixes the order results
+    # (and on_cell callbacks) come back in.
+    from ..exec import CellRequest, execute_cells
+
+    requests = [
+        CellRequest(
+            app=app_name, config=variant.config, scale=scale, seed=seed,
+            verify=verify,
+        )
+        for variant in variants
+        for app_name in apps
+    ]
+    metrics_list = execute_cells(requests)
+    it = iter(metrics_list)
     for variant in variants:
         for app_name in apps:
-            app = make_app(app_name, scale=scale, seed=seed)
-            metrics = run_app(app, variant.config, verify=verify).metrics
+            metrics = next(it)
             result.cells[(variant.label, app_name)] = metrics
             if on_cell is not None:
                 on_cell(variant.label, app_name, metrics)

@@ -1,0 +1,160 @@
+"""Parallel, cached execution of simulation cells.
+
+The benchmark matrix is embarrassingly parallel: every (app, design)
+cell is an independent deterministic simulation.  This module fans the
+cells out over a :class:`concurrent.futures.ProcessPoolExecutor`, backed
+by the on-disk :class:`~repro.exec.cache.ResultCache`, and reassembles
+results in request order so callers see exactly what the old serial loop
+produced.
+
+Worker processes rebuild the whole system from the pickled
+:class:`~repro.config.SystemConfig`; nothing mutable crosses the process
+boundary, so a cell's metrics are bit-identical whether it ran in-process,
+in a worker, or came from the cache (the determinism tests assert all
+three).
+
+Environment knobs:
+
+* ``NDPBRIDGE_JOBS`` -- worker count (default: the machine's CPU count;
+  ``1`` forces the serial in-process path),
+* ``NDPBRIDGE_CACHE_DIR`` / ``NDPBRIDGE_CACHE=0`` -- see
+  :mod:`repro.exec.cache`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..analysis.metrics import RunMetrics
+from ..config import Design, SystemConfig
+from .cache import ResultCache, cell_key, metrics_from_payload, \
+    metrics_to_payload
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class CellRequest:
+    """One simulation cell: everything needed to run it anywhere."""
+
+    app: str
+    config: SystemConfig
+    scale: float
+    seed: int
+    verify: bool = True
+
+    @property
+    def key(self) -> str:
+        return cell_key(
+            self.app, self.config, self.scale, self.seed, self.verify
+        )
+
+
+def _execute_cell(request: CellRequest) -> dict:
+    """Run one cell and return its metrics as a JSON-safe payload.
+
+    Module-level so it pickles for worker processes.  Returning the
+    payload (not the RunMetrics) keeps the wire format identical to the
+    cache format.
+    """
+    from ..apps import make_app
+    from ..runtime.runner import run_app
+
+    app = make_app(request.app, scale=request.scale, seed=request.seed)
+    result = run_app(app, request.config, verify=request.verify)
+    return metrics_to_payload(result.metrics)
+
+
+def default_jobs() -> int:
+    """Worker count from ``NDPBRIDGE_JOBS``, else the CPU count."""
+    env = os.environ.get("NDPBRIDGE_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def execute_cells(
+    requests: Sequence[CellRequest],
+    jobs: Optional[int] = None,
+    cache: "Optional[ResultCache]" = _UNSET,  # type: ignore[assignment]
+    on_cell: Optional[Callable[[CellRequest, RunMetrics], None]] = None,
+) -> List[RunMetrics]:
+    """Execute every request, returning metrics in request order.
+
+    Cache hits are returned without simulating; misses run in parallel
+    across ``jobs`` worker processes (serially in-process when ``jobs``
+    is 1 or only one miss exists).  ``on_cell`` fires once per request in
+    request order after all cells finish.
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    if cache is _UNSET:
+        cache = ResultCache.from_env()
+
+    results: List[Optional[RunMetrics]] = [None] * len(requests)
+    miss_indices: List[int] = []
+    for i, request in enumerate(requests):
+        if cache is not None:
+            hit = cache.get(request.key)
+            if hit is not None:
+                results[i] = hit
+                continue
+        miss_indices.append(i)
+
+    if miss_indices:
+        misses = [requests[i] for i in miss_indices]
+        if jobs <= 1 or len(misses) == 1:
+            payloads = [_execute_cell(r) for r in misses]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(misses))
+            ) as pool:
+                payloads = list(pool.map(_execute_cell, misses))
+        for i, request, payload in zip(miss_indices, misses, payloads):
+            metrics = metrics_from_payload(payload)
+            results[i] = metrics
+            if cache is not None:
+                cache.put(request.key, metrics)
+
+    out = [m for m in results if m is not None]
+    assert len(out) == len(requests)
+    if on_cell is not None:
+        for request, metrics in zip(requests, out):
+            on_cell(request, metrics)
+    return out
+
+
+def run_matrix(
+    apps: Sequence[str],
+    designs: Sequence[Design],
+    config_of: Callable[[Design], SystemConfig],
+    scale: float,
+    seed: int,
+    jobs: Optional[int] = None,
+    cache: "Optional[ResultCache]" = _UNSET,  # type: ignore[assignment]
+    verify: bool = True,
+) -> Dict[str, Dict[str, RunMetrics]]:
+    """Run the (app x design) matrix and key results like the old serial
+    loop: ``results[app_name][design.value]``."""
+    requests = [
+        CellRequest(
+            app=app,
+            config=config_of(design),
+            scale=scale,
+            seed=seed,
+            verify=verify,
+        )
+        for app in apps
+        for design in designs
+    ]
+    metrics = execute_cells(requests, jobs=jobs, cache=cache)
+    results: Dict[str, Dict[str, RunMetrics]] = {}
+    it = iter(metrics)
+    for app in apps:
+        results[app] = {}
+        for design in designs:
+            results[app][design.value] = next(it)
+    return results

@@ -26,6 +26,7 @@ from ..messages import DataMessage, Mailbox, Message, TaskMessage
 from ..runtime.program import TaskContext
 from ..runtime.task import Task
 from ..sim import DeterministicRNG, Simulator, StatsRegistry
+from .cache import HIT_LATENCY, L1Cache
 
 #: Forwarded tasks park at their home unit after this many bounces.  The
 #: park is cheap to leave: the bridge pings the home unit when the lend's
@@ -76,8 +77,6 @@ class NDPUnit:
         self.rng = rng
         self.bank = DRAMBank(sim, config, stats, unit_id)
         self.mailbox = Mailbox(config.unit_mem.mailbox_bytes)
-        from .cache import L1Cache
-
         self.cache = L1Cache.from_config(config)
 
         block_bytes = config.comm.g_xfer_bytes
@@ -278,8 +277,6 @@ class NDPUnit:
         # Fetch the task's data element: from the L1 SRAM on a hit, or
         # from the local bank through the DMA engine on a miss (the access
         # arbiter serializes bank traffic with the bridge).
-        from .cache import HIT_LATENCY
-
         if self.cache.access(task.data_addr):
             access_cycles = HIT_LATENCY
         else:
@@ -557,8 +554,6 @@ class NDPUnit:
         cfg = self.config
         wire = cfg.comm.g_xfer_bytes + 64 * n_tasks
         transfer_cycles = 2.0 * wire / cfg.chip_link_bytes_per_cycle
-        from .cache import HIT_LATENCY
-
         work_cycles = workload + n_tasks * (
             cfg.core.dispatch_overhead_cycles + HIT_LATENCY
         )

@@ -29,8 +29,13 @@ class Component:
     def now(self) -> int:
         return self.sim.now
 
-    def schedule(self, delay: int, callback) -> object:
-        return self.sim.schedule(delay, callback)
+    def schedule(self, delay: int, callback) -> None:
+        """Schedule on the engine's allocation-free fast path."""
+        self.sim.schedule(delay, callback)
+
+    def schedule_cancellable(self, delay: int, callback):
+        """Schedule a callback that may later be cancelled."""
+        return self.sim.schedule_cancellable(delay, callback)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.full_name!r})"

@@ -6,18 +6,30 @@ cycle is 2.5 ns).  Every hardware structure (banks, links, bridges, cores)
 is a :class:`~repro.sim.component.Component` that schedules callbacks on the
 shared :class:`Simulator`.
 
-The engine is deliberately small: a binary heap of ``(time, seq, callback)``
-entries, a monotonically increasing sequence number for deterministic
-tie-breaking, and a run loop with an optional stop condition that is checked
-after every event.  Determinism is a hard requirement -- two runs with the
-same seed must produce identical cycle counts -- so no wall-clock or hashing
-order ever influences event order.
+The engine is the hottest code in the repository -- every figure of the
+evaluation replays millions of events through it -- so the common case is
+kept allocation-free: :meth:`Simulator.schedule` pushes a bare
+``(time, seq, callback)`` tuple onto a binary heap and returns nothing.
+Callers that need to cancel use :meth:`Simulator.schedule_cancellable`,
+which wraps the callback in an :class:`Event` handle; cancellation is lazy
+(the heap entry is skipped when popped) but *counted*, and the heap is
+compacted once cancelled entries outnumber live ones.  The run loop drains
+all events that share a timestamp in one batch, paying the ``until`` /
+``max_cycles`` bookkeeping once per cycle instead of once per event.
+
+Determinism is a hard requirement -- two runs with the same seed must
+produce identical cycle counts -- so events execute strictly in
+``(time, seq)`` order and no wall-clock or hashing order ever influences
+event order.  The fast path and the cancellable path share one sequence
+counter, so mixing them cannot reorder anything.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["Event", "SimulationError", "Simulator"]
 
 
 class SimulationError(RuntimeError):
@@ -25,31 +37,46 @@ class SimulationError(RuntimeError):
 
 
 class Event:
-    """A scheduled callback.
+    """A cancellable scheduled callback.
 
-    Events are handed back by :meth:`Simulator.schedule` so callers can
-    cancel them.  Cancellation is lazy: the entry stays in the heap but is
-    skipped when popped.
+    Handed back by :meth:`Simulator.schedule_cancellable` so callers can
+    cancel it.  Cancellation is lazy: the heap entry stays put but is
+    skipped when popped.  The owning simulator counts cancellations so it
+    can compact the heap when too many dead entries accumulate.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_sim")
 
-    def __init__(self, time: int, seq: int, callback: Callable[[], None]):
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[[], None],
+        sim: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Mark the event so the run loop skips it."""
+        """Mark the event so the run loop skips it.  Idempotent; a no-op
+        once the event has executed."""
+        if self.cancelled or self.callback is None:
+            return
         self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        if self._sim is not None:
+            self._sim._note_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
         return f"Event(t={self.time}, seq={self.seq}, {state})"
+
+
+#: Heaps smaller than this are never compacted -- the scan costs more
+#: than the dead entries.
+_COMPACT_MIN = 64
 
 
 class Simulator:
@@ -67,30 +94,88 @@ class Simulator:
     def __init__(self, max_cycles: int = 10_000_000_000):
         self.now: int = 0
         self.max_cycles = max_cycles
-        self._queue: List[Event] = []
+        # Heap of (time, seq, payload); payload is either a bare callable
+        # (fast path) or an Event (cancellable path).  seq is unique, so
+        # tuple comparison never reaches the payload.
+        self._queue: List[Tuple[int, int, object]] = []
         self._seq = 0
         self._events_processed = 0
+        self._cancelled = 0
         self._stopped = False
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` to run ``delay`` cycles from now."""
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` cycles from now.
+
+        This is the allocation-free fast path: no :class:`Event` handle is
+        created and nothing is returned.  Use
+        :meth:`schedule_cancellable` when the caller may need to cancel.
+        """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + int(delay), callback)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (self.now + int(delay), seq, callback))
 
-    def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` at an absolute cycle count."""
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at an absolute cycle count (fast path)."""
         if time < self.now:
             raise ValueError(
                 f"cannot schedule at t={time}, current time is {self.now}"
             )
-        ev = Event(int(time), self._seq, callback)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (int(time), seq, callback))
+
+    def schedule_cancellable(
+        self, delay: int, callback: Callable[[], None]
+    ) -> Event:
+        """Like :meth:`schedule`, but returns a cancellable handle."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_cancellable_at(self.now + int(delay), callback)
+
+    def schedule_cancellable_at(
+        self, time: int, callback: Callable[[], None]
+    ) -> Event:
+        """Like :meth:`schedule_at`, but returns a cancellable handle."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time}, current time is {self.now}"
+            )
+        ev = Event(int(time), self._seq, callback, self)
         self._seq += 1
-        heapq.heappush(self._queue, ev)
+        heapq.heappush(self._queue, (ev.time, ev.seq, ev))
         return ev
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled * 2 > len(self._queue)
+            and len(self._queue) >= _COMPACT_MIN
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Heap order is rebuilt from the (time, seq) prefixes, which are
+        untouched by compaction, so event order -- and therefore
+        determinism -- is unaffected.
+        """
+        # In-place so aliases held by the run loop stay valid.
+        self._queue[:] = [
+            entry
+            for entry in self._queue
+            if not (type(entry[2]) is Event and entry[2].cancelled)
+        ]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # run loop
@@ -105,27 +190,48 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Live (non-cancelled) entries in the queue.  O(1)."""
+        return len(self._queue) - self._cancelled
 
     def peek_time(self) -> Optional[int]:
         """Time of the next non-cancelled event, or ``None`` if drained."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while queue:
+            payload = queue[0][2]
+            if type(payload) is Event and payload.cancelled:
+                heapq.heappop(queue)
+                self._cancelled -= 1
+                continue
+            return queue[0][0]
+        return None
+
+    def _dispatch(self, payload: object) -> bool:
+        """Run one popped payload; returns ``False`` if it was cancelled."""
+        if type(payload) is Event:
+            if payload.cancelled:
+                self._cancelled -= 1
+                return False
+            callback = payload.callback
+            payload.callback = None  # executed: cancel() becomes a no-op
+        else:
+            callback = payload
+        callback()
+        self._events_processed += 1
+        return True
 
     def step(self) -> bool:
         """Process one event.  Returns ``False`` when the queue is empty."""
         while self._queue:
-            ev = heapq.heappop(self._queue)
-            if ev.cancelled:
+            time, _, payload = heapq.heappop(self._queue)
+            if type(payload) is Event and payload.cancelled:
+                self._cancelled -= 1
                 continue
-            if ev.time > self.max_cycles:
+            if time > self.max_cycles:
                 raise SimulationError(
                     f"simulation exceeded max_cycles={self.max_cycles}"
                 )
-            self.now = ev.time
-            ev.callback()
-            self._events_processed += 1
+            self.now = time
+            self._dispatch(payload)
             return True
         return False
 
@@ -138,8 +244,18 @@ class Simulator:
 
         ``stop_condition`` is evaluated after every processed event; when it
         returns ``True`` the loop exits.  Returns the final simulation time.
+
+        All events sharing a timestamp are dispatched as one batch: the
+        ``until`` / ``max_cycles`` checks run once per simulated cycle, and
+        the heap top is only re-examined to detect the end of the batch.
+        Events scheduled *during* a batch at the current cycle join the
+        same batch (they carry a larger seq, so they run last, exactly as
+        the one-at-a-time loop would order them).
         """
         self._stopped = False
+        queue = self._queue
+        heappop = heapq.heappop
+        max_cycles = self.max_cycles
         while not self._stopped:
             nxt = self.peek_time()
             if nxt is None:
@@ -147,10 +263,21 @@ class Simulator:
             if until is not None and nxt > until:
                 self.now = until
                 break
-            self.step()
-            if stop_condition is not None and stop_condition():
-                break
+            if nxt > max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded max_cycles={max_cycles}"
+                )
+            self.now = nxt
+            # Same-cycle batch: drain every entry stamped `nxt`.
+            while queue and queue[0][0] == nxt:
+                payload = heappop(queue)[2]
+                if not self._dispatch(payload):
+                    continue
+                if stop_condition is not None and stop_condition():
+                    return self.now
+                if self._stopped:
+                    return self.now
         return self.now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Simulator(now={self.now}, pending={len(self._queue)})"
+        return f"Simulator(now={self.now}, pending={self.pending_events})"

@@ -34,7 +34,13 @@ def test_bench_config_unit_override():
 
 def test_geomean():
     assert geomean([4.0, 1.0]) == pytest.approx(2.0)
-    assert geomean([]) == 0.0
+
+
+def test_geomean_rejects_empty_sequence():
+    with pytest.raises(ValueError):
+        geomean([])
+    with pytest.raises(ValueError):
+        geomean(x for x in ())
 
 
 def test_speedups_vs_baseline():

@@ -1,0 +1,172 @@
+"""Tests for the parallel + cached execution subsystem (repro.exec).
+
+Determinism is the contract: a cell's metrics must be bit-identical
+whether the simulation ran in-process, in a pool worker, or came back
+from the on-disk cache.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.metrics import RunMetrics
+from repro.config import Design, tiny_config
+from repro.energy import EnergyBreakdown
+from repro.exec import (
+    CellRequest,
+    ResultCache,
+    cell_key,
+    code_version,
+    config_fingerprint,
+    execute_cells,
+    metrics_from_payload,
+    metrics_to_payload,
+    run_matrix,
+)
+
+APP = "ht"
+SCALE = 0.03
+SEED = 3
+
+
+def request(design=Design.B, seed=SEED, scale=SCALE):
+    return CellRequest(
+        app=APP, config=tiny_config(design), scale=scale, seed=seed
+    )
+
+
+def sample_metrics(with_energy=True):
+    energy = EnergyBreakdown(
+        core_sram_pj=1.5, local_dram_pj=2.25, comm_dram_pj=0.125,
+        static_pj=10.0,
+    ) if with_energy else None
+    return RunMetrics(
+        design="B", app="ht", makespan=12345, avg_unit_time=17.25,
+        max_unit_time=12345, wait_fraction=0.333251953125,
+        total_busy_cycles=99, tasks_executed=42, task_messages=7,
+        data_messages=3, energy=energy, extra={"x": 1.75},
+    )
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+def test_metrics_payload_round_trip_exact():
+    for with_energy in (True, False):
+        m = sample_metrics(with_energy)
+        # Through actual JSON text, as the on-disk cache does.
+        payload = json.loads(json.dumps(metrics_to_payload(m)))
+        assert metrics_from_payload(payload) == m
+
+
+def test_config_fingerprint_distinguishes_configs():
+    base = tiny_config(Design.B)
+    assert config_fingerprint(base) == config_fingerprint(tiny_config(Design.B))
+    assert config_fingerprint(base) != config_fingerprint(tiny_config(Design.O))
+    assert config_fingerprint(base) != config_fingerprint(
+        base.replace(seed=base.seed + 1)
+    )
+
+
+def test_cell_key_sensitivity():
+    base = request()
+    assert base.key == request().key
+    assert base.key != request(seed=SEED + 1).key
+    assert base.key != request(scale=SCALE * 2).key
+    assert base.key != request(design=Design.O).key
+    assert base.key != cell_key(
+        "ll", tiny_config(Design.B), SCALE, SEED
+    )
+
+
+def test_code_version_is_stable_within_process():
+    assert code_version() == code_version()
+    assert len(code_version()) == 16
+
+
+# ----------------------------------------------------------------------
+# cache behaviour
+# ----------------------------------------------------------------------
+def test_cache_miss_then_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    m = sample_metrics()
+    key = request().key
+    assert cache.get(key) is None
+    cache.put(key, m)
+    assert cache.get(key) == m
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_cache_corrupt_file_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = request().key
+    cache.put(key, sample_metrics())
+    path = cache._path(key)
+    path.write_text("{not json")
+    assert cache.get(key) is None
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(request().key, sample_metrics())
+    assert cache.clear() == 1
+    assert cache.get(request().key) is None
+
+
+def test_cache_disabled_via_env(monkeypatch):
+    monkeypatch.setenv("NDPBRIDGE_CACHE", "0")
+    assert ResultCache.from_env() is None
+    monkeypatch.setenv("NDPBRIDGE_CACHE", "1")
+    monkeypatch.setenv("NDPBRIDGE_CACHE_DIR", "/tmp/some-cache")
+    cache = ResultCache.from_env()
+    assert cache is not None and str(cache.root) == "/tmp/some-cache"
+
+
+# ----------------------------------------------------------------------
+# execution determinism: fresh vs cached vs subprocess
+# ----------------------------------------------------------------------
+def test_fresh_cached_and_subprocess_results_identical(tmp_path):
+    reqs = [request(Design.B), request(Design.O)]
+
+    fresh = execute_cells(reqs, jobs=1, cache=None)
+    pooled = execute_cells(reqs, jobs=2, cache=None)
+
+    cache = ResultCache(tmp_path)
+    primed = execute_cells(reqs, jobs=1, cache=cache)
+    hits_before = cache.hits
+    cached = execute_cells(reqs, jobs=1, cache=cache)
+    assert cache.hits == hits_before + len(reqs)
+
+    for a, b, c, d in zip(fresh, pooled, primed, cached):
+        assert a == b == c == d
+        assert a.makespan > 0
+
+
+def test_double_run_same_seed_identical(tmp_path):
+    a = execute_cells([request()], jobs=1, cache=None)[0]
+    b = execute_cells([request()], jobs=1, cache=None)[0]
+    assert a.makespan == b.makespan
+    assert a == b
+
+
+def test_on_cell_fires_in_request_order(tmp_path):
+    reqs = [request(Design.B), request(Design.O)]
+    seen = []
+    execute_cells(
+        reqs, jobs=1, cache=ResultCache(tmp_path),
+        on_cell=lambda r, m: seen.append((r.config.design.value, m.makespan)),
+    )
+    assert [d for d, _ in seen] == ["B", "O"]
+    assert all(mk > 0 for _, mk in seen)
+
+
+def test_run_matrix_shape_and_keys(tmp_path):
+    results = run_matrix(
+        ["ht"], [Design.B, Design.O],
+        config_of=tiny_config, scale=SCALE, seed=SEED,
+        jobs=1, cache=ResultCache(tmp_path),
+    )
+    assert set(results) == {"ht"}
+    assert set(results["ht"]) == {"B", "O"}
+    assert results["ht"]["B"].design == "B"
+    assert results["ht"]["O"].app == "ht"
