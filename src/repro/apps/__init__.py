@@ -1,6 +1,6 @@
 """The eight evaluated applications (Section VII)."""
 
-from typing import Callable, Dict
+from typing import Dict
 
 from .base import NDPApplication
 from .bfs import BfsApp

@@ -391,7 +391,7 @@ class Level1Bridge:
         else:
             lens = [
                 self.system.units[uid].mailbox.used_bytes
-                for uid in self._mail_pending
+                for uid in sorted(self._mail_pending)
             ]
         any_idle = any(
             s.idle or s.queue_workload == 0

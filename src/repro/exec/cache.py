@@ -28,7 +28,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from ..analysis.metrics import RunMetrics
 from ..config import SystemConfig
@@ -109,7 +109,7 @@ def cell_key(
 # ----------------------------------------------------------------------
 # RunMetrics <-> JSON (exact round-trip; as_dict() drops fields)
 # ----------------------------------------------------------------------
-def metrics_to_payload(m: RunMetrics) -> dict:
+def metrics_to_payload(m: RunMetrics) -> Dict[str, object]:
     return {
         "design": m.design,
         "app": m.app,
@@ -135,7 +135,7 @@ def metrics_to_payload(m: RunMetrics) -> dict:
     }
 
 
-def metrics_from_payload(payload: dict) -> RunMetrics:
+def metrics_from_payload(payload: Dict[str, Any]) -> RunMetrics:
     energy = payload.get("energy")
     return RunMetrics(
         design=payload["design"],
@@ -156,7 +156,7 @@ def metrics_from_payload(payload: dict) -> RunMetrics:
 class ResultCache:
     """One JSON file per finished cell under ``root``."""
 
-    def __init__(self, root: "os.PathLike[str] | str"):
+    def __init__(self, root: "os.PathLike[str] | str") -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0

@@ -53,7 +53,7 @@ class CellRequest:
         )
 
 
-def _execute_cell(request: CellRequest) -> dict:
+def _execute_cell(request: CellRequest) -> Dict[str, object]:
     """Run one cell and return its metrics as a JSON-safe payload.
 
     Module-level so it pickles for worker processes.  Returning the

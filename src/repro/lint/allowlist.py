@@ -1,0 +1,67 @@
+"""Sanctioned exceptions to the simlint rules.
+
+Every entry names one (rule, module) pair and must carry a written
+justification -- the checker refuses empty ones at import time.  Prefer a
+per-line ``# simlint: ignore[RULE]`` for one-off sites; the allowlist is
+for modules whose *purpose* is the exception (e.g. the RNG facade is the
+one place allowed to import ``random``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .rules import RULE_CODES
+
+
+@dataclass(frozen=True)
+class AllowlistEntry:
+    """One sanctioned (rule, module) pair."""
+
+    rule: str
+    #: Module path relative to the package root, e.g. "repro/sim/rng.py".
+    module: str
+    justification: str
+
+
+ALLOWLIST: Tuple[AllowlistEntry, ...] = (
+    AllowlistEntry(
+        rule="SL002",
+        module="repro/sim/rng.py",
+        justification=(
+            "the sanctioned randomness facade: wraps random.Random behind "
+            "seeded, named DeterministicRNG streams; every other module "
+            "must go through it"
+        ),
+    ),
+)
+
+
+def _validate() -> None:
+    seen = set()
+    for entry in ALLOWLIST:
+        if entry.rule not in RULE_CODES:
+            raise ValueError(
+                f"allowlist names unknown rule {entry.rule!r}"
+            )
+        if not entry.justification.strip():
+            raise ValueError(
+                f"allowlist entry ({entry.rule}, {entry.module}) has no "
+                f"justification -- every sanctioned site must say why"
+            )
+        key = (entry.rule, entry.module)
+        if key in seen:
+            raise ValueError(f"duplicate allowlist entry {key}")
+        seen.add(key)
+
+
+_validate()
+
+
+def is_allowlisted(rule: str, module_path: str) -> bool:
+    """True if ``rule`` is sanctioned for the module at ``module_path``."""
+    return any(
+        entry.rule == rule and entry.module == module_path
+        for entry in ALLOWLIST
+    )

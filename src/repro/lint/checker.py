@@ -1,0 +1,165 @@
+"""simlint orchestration: parse, run rules, apply suppressions.
+
+Suppression syntax (per line, same line as the finding)::
+
+    x = time.time()          # simlint: ignore[SL001] host-side timer
+    for b in banks: ...      # simlint: ignore            (all rules)
+
+Module-wide sanctioned sites live in :mod:`repro.lint.allowlist`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Union
+
+from .allowlist import is_allowlisted
+from .rules import RULES, ModuleContext
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?"
+)
+
+#: Sentinel rule set meaning "every rule" for a bare `# simlint: ignore`.
+_ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: where, which rule, and what went wrong."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def _suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> rules suppressed on that line."""
+    out: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = match.group(1)
+        if rules is None:
+            out[lineno] = _ALL_RULES
+        else:
+            out[lineno] = frozenset(
+                r.strip().upper() for r in rules.split(",") if r.strip()
+            )
+    return out
+
+
+def _module_path_of(path: Path) -> str:
+    """Path relative to the package root, e.g. 'repro/sim/engine.py'.
+
+    Files outside a ``repro`` package keep their name, which means
+    path-scoped rules simply do not fire on them.
+    """
+    parts = path.as_posix().split("/")
+    for i, part in enumerate(parts):
+        if part == "repro":
+            return "/".join(parts[i:])
+    return path.name
+
+
+def lint_source(
+    source: str,
+    path: Union[str, Path] = "<string>",
+    module_path: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Lint one module's source text.
+
+    ``module_path`` overrides the package-relative path used for rule
+    scoping and the allowlist (tests use this to place fixture snippets
+    in a virtual location like ``repro/bridge/fixture.py``).
+    """
+    path = Path(path)
+    if module_path is None:
+        module_path = _module_path_of(path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule="SL000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(
+        tree=tree,
+        module_path=module_path,
+        fs_parts=tuple(Path(path).parts),
+    )
+    suppressed = _suppressions(source)
+    diagnostics: List[Diagnostic] = []
+    for rule in RULES:
+        if is_allowlisted(rule.code, module_path):
+            continue
+        for line, col, message in rule.check(ctx):
+            rules_here = suppressed.get(line)
+            if rules_here is not None and (
+                rules_here is _ALL_RULES
+                or "*" in rules_here
+                or rule.code in rules_here
+            ):
+                continue
+            diagnostics.append(
+                Diagnostic(
+                    path=str(path),
+                    line=line,
+                    col=col,
+                    rule=rule.code,
+                    message=message,
+                )
+            )
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return diagnostics
+
+
+def lint_file(path: Union[str, Path]) -> List[Diagnostic]:
+    """Lint one file on disk."""
+    path = Path(path)
+    return lint_source(path.read_text(encoding="utf-8"), path)
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of .py files."""
+    files: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    # De-duplicate while keeping deterministic order.
+    seen = set()
+    unique: List[Path] = []
+    for f in files:
+        key = f.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(f)
+    return unique
+
+
+def lint_paths(paths: Sequence[Union[str, Path]]) -> List[Diagnostic]:
+    """Lint every .py file under ``paths`` (dirs recursed, sorted)."""
+    diagnostics: List[Diagnostic] = []
+    for path in iter_python_files(paths):
+        diagnostics.extend(lint_file(path))
+    return diagnostics

@@ -1,0 +1,87 @@
+"""``python -m repro.lint`` -- the simlint command line.
+
+Exit status 0 when clean, 1 when any diagnostic survives suppression
+and the allowlist, 2 on usage errors.  Output is one ``path:line:col:
+RULE message`` line per finding, grep- and editor-friendly.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .allowlist import ALLOWLIST
+from .checker import iter_python_files, lint_file
+from .rules import RULES
+
+
+def _list_rules() -> str:
+    lines = ["simlint rules:"]
+    for rule in RULES:
+        lines.append(f"  {rule.code}  {rule.name}")
+        lines.append(f"         {rule.description}")
+    lines.append("")
+    lines.append("allowlisted modules:")
+    for entry in ALLOWLIST:
+        lines.append(
+            f"  {entry.rule}  {entry.module}: {entry.justification}"
+        )
+    lines.append("")
+    lines.append(
+        "suppress a single line with `# simlint: ignore[SL001]` "
+        "(comma-separate codes; bare `# simlint: ignore` silences all)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "simlint: determinism & simulator-invariant static analysis"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and allowlist, then exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    files = iter_python_files(args.paths)
+    if not files:
+        parser.error(f"no python files found under {args.paths!r}")
+
+    total = 0
+    for path in files:
+        for diag in lint_file(path):
+            print(diag.format())
+            total += 1
+    if not args.quiet:
+        if total:
+            print(
+                f"simlint: {total} finding(s) in {len(files)} file(s) "
+                f"({len(RULES)} rules)"
+            )
+        else:
+            print(
+                f"simlint: clean -- {len(files)} file(s), "
+                f"{len(RULES)} rules"
+            )
+    return 1 if total else 0

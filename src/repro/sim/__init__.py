@@ -1,15 +1,16 @@
 """Discrete-event simulation kernel used by the NDPBridge model."""
 
-from .engine import Event, SimulationError, Simulator
+from .engine import Event, SimulationError, Simulator, sanitize_from_env
 from .component import Component
 from .rng import DeterministicRNG
-from .tracing import NULL_TRACER, TraceRecord, Tracer
+from .tracing import NULL_TRACER, TraceRecord, Tracer, TracerError
 from .stats import Accumulator, Counter, Histogram, StatsRegistry
 
 __all__ = [
     "Event",
     "SimulationError",
     "Simulator",
+    "sanitize_from_env",
     "Component",
     "DeterministicRNG",
     "Accumulator",
@@ -19,4 +20,5 @@ __all__ = [
     "NULL_TRACER",
     "TraceRecord",
     "Tracer",
+    "TracerError",
 ]

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
-from .engine import Simulator
+from .engine import Event, Simulator
 
 
 class Component:
@@ -14,7 +14,12 @@ class Component:
     the actual wiring (who talks to whom) is explicit in each subclass.
     """
 
-    def __init__(self, sim: Simulator, name: str, parent: Optional["Component"] = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        parent: Optional["Component"] = None,
+    ) -> None:
         self.sim = sim
         self.name = name
         self.parent = parent
@@ -29,11 +34,13 @@ class Component:
     def now(self) -> int:
         return self.sim.now
 
-    def schedule(self, delay: int, callback) -> None:
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
         """Schedule on the engine's allocation-free fast path."""
         self.sim.schedule(delay, callback)
 
-    def schedule_cancellable(self, delay: int, callback):
+    def schedule_cancellable(
+        self, delay: int, callback: Callable[[], None]
+    ) -> Event:
         """Schedule a callback that may later be cancelled."""
         return self.sim.schedule_cancellable(delay, callback)
 

@@ -22,14 +22,39 @@ produce identical cycle counts -- so events execute strictly in
 ``(time, seq)`` order and no wall-clock or hashing order ever influences
 event order.  The fast path and the cancellable path share one sequence
 counter, so mixing them cannot reorder anything.
+
+**Sanitizer mode.**  ``Simulator(sanitize=True)`` (or exporting
+``NDPBRIDGE_SANITIZE=1``) turns on runtime invariant checking: delays
+must be genuine ints (no silently-truncated floats), callbacks must be
+callable, dispatch order must be strictly increasing in ``(time, seq)``
+(which also proves ``seq`` never collides), batch time must be monotone,
+and at every :meth:`run` exit an event-conservation audit verifies
+``scheduled == dispatched + cancelled-purged + still-queued`` and that
+the lazy-cancellation counter matches a recount of the heap.  All of
+this lives in separate wrappers and a separate run loop, so the
+non-sanitized fast path executes exactly the same instructions as
+before -- the checks are compiled out, not branched around.  Sanitized
+and plain runs of the same model produce bit-identical cycle counts;
+the tier-1 determinism tests assert this.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Callable, List, Optional, Tuple
 
-__all__ = ["Event", "SimulationError", "Simulator"]
+__all__ = ["Event", "SimulationError", "Simulator", "sanitize_from_env"]
+
+
+def sanitize_from_env() -> bool:
+    """True when ``NDPBRIDGE_SANITIZE`` asks for sanitizer mode."""
+    return os.environ.get("NDPBRIDGE_SANITIZE", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
 
 
 class SimulationError(RuntimeError):
@@ -53,10 +78,11 @@ class Event:
         seq: int,
         callback: Callable[[], None],
         sim: "Optional[Simulator]" = None,
-    ):
+    ) -> None:
         self.time = time
         self.seq = seq
-        self.callback = callback
+        # None once executed, so cancel() after the fact is a no-op.
+        self.callback: Optional[Callable[[], None]] = callback
         self.cancelled = False
         self._sim = sim
 
@@ -89,9 +115,17 @@ class Simulator:
         the clock passes this value.  Protects against accidental infinite
         simulations (e.g. a bridge that keeps rescheduling itself after the
         workload has drained).
+    sanitize:
+        Enable runtime invariant checking (see the module docstring).
+        ``None`` (the default) defers to the ``NDPBRIDGE_SANITIZE``
+        environment variable.
     """
 
-    def __init__(self, max_cycles: int = 10_000_000_000):
+    def __init__(
+        self,
+        max_cycles: int = 10_000_000_000,
+        sanitize: Optional[bool] = None,
+    ) -> None:
         self.now: int = 0
         self.max_cycles = max_cycles
         # Heap of (time, seq, payload); payload is either a bare callable
@@ -102,6 +136,23 @@ class Simulator:
         self._events_processed = 0
         self._cancelled = 0
         self._stopped = False
+        # Conservation/ordering bookkeeping.  _cancel_purged is counted
+        # unconditionally (all its increments sit on cold purge paths);
+        # _scheduled_total is only counted by the sanitized wrappers, so
+        # the conservation audit is meaningful only in sanitizer mode.
+        self._cancel_purged = 0
+        self._scheduled_total = 0
+        self._last_dispatched: Tuple[int, int] = (-1, -1)
+        if sanitize is None:
+            sanitize = sanitize_from_env()
+        self.sanitize = bool(sanitize)
+        if self.sanitize:
+            # Shadow the scheduling entry points on the *instance* so the
+            # class fast paths stay byte-identical when sanitizing is off.
+            self.schedule = self._schedule_sanitized  # type: ignore[method-assign]
+            self.schedule_at = self._schedule_at_sanitized  # type: ignore[method-assign]
+            self.schedule_cancellable = self._schedule_cancellable_sanitized  # type: ignore[method-assign]
+            self.schedule_cancellable_at = self._schedule_cancellable_at_sanitized  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # scheduling
@@ -151,6 +202,105 @@ class Simulator:
         return ev
 
     # ------------------------------------------------------------------
+    # sanitizer mode
+    # ------------------------------------------------------------------
+    def _sanitize_args(self, delta: int, callback: Callable[[], None],
+                       kind: str) -> None:
+        """Reject schedule arguments the fast path would silently coerce."""
+        if type(delta) is not int:
+            raise SimulationError(
+                f"sanitize: {kind} must be an int, got "
+                f"{type(delta).__name__} {delta!r} -- float time drifts "
+                f"and breaks bit-identical replays"
+            )
+        if not callable(callback):
+            raise SimulationError(
+                f"sanitize: callback {callback!r} is not callable"
+            )
+
+    def _schedule_sanitized(
+        self, delay: int, callback: Callable[[], None]
+    ) -> None:
+        self._sanitize_args(delay, callback, "delay")
+        Simulator.schedule(self, delay, callback)
+        self._scheduled_total += 1
+
+    def _schedule_at_sanitized(
+        self, time: int, callback: Callable[[], None]
+    ) -> None:
+        self._sanitize_args(time, callback, "absolute time")
+        Simulator.schedule_at(self, time, callback)
+        self._scheduled_total += 1
+
+    def _schedule_cancellable_sanitized(
+        self, delay: int, callback: Callable[[], None]
+    ) -> Event:
+        self._sanitize_args(delay, callback, "delay")
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self._schedule_cancellable_at_sanitized(
+            self.now + delay, callback
+        )
+
+    def _schedule_cancellable_at_sanitized(
+        self, time: int, callback: Callable[[], None]
+    ) -> Event:
+        self._sanitize_args(time, callback, "absolute time")
+        ev = Simulator.schedule_cancellable_at(self, time, callback)
+        self._scheduled_total += 1
+        return ev
+
+    def _check_dispatch_order(self, time: int, seq: int) -> None:
+        """Popped entries must be strictly increasing in (time, seq).
+
+        Strict increase simultaneously proves the heap never reorders,
+        time never runs backwards between events, and ``seq`` never
+        collides (a collision would make two entries compare equal).
+        """
+        if (time, seq) <= self._last_dispatched:
+            raise SimulationError(
+                f"sanitize: event order violated -- popped (t={time}, "
+                f"seq={seq}) after {self._last_dispatched} (seq collision "
+                f"or corrupted heap)"
+            )
+        self._last_dispatched = (time, seq)
+
+    def audit(self) -> None:
+        """Verify engine bookkeeping; raises :class:`SimulationError`.
+
+        Always checks that the lazy-cancellation counter matches a
+        recount of the heap.  In sanitizer mode additionally checks event
+        conservation: every event ever scheduled was dispatched, purged
+        as cancelled, or is still in the queue.  Sanitized :meth:`run`
+        calls this automatically on every exit.
+        """
+        actual_cancelled = sum(
+            1
+            for entry in self._queue
+            if type(entry[2]) is Event and entry[2].cancelled
+        )
+        if actual_cancelled != self._cancelled:
+            raise SimulationError(
+                f"sanitize: cancellation bookkeeping inconsistent -- "
+                f"counter says {self._cancelled}, heap holds "
+                f"{actual_cancelled} cancelled entries"
+            )
+        if self.sanitize:
+            accounted = (
+                self._events_processed
+                + self._cancel_purged
+                + len(self._queue)
+            )
+            if self._scheduled_total != accounted:
+                raise SimulationError(
+                    f"sanitize: event conservation violated -- scheduled "
+                    f"{self._scheduled_total} but dispatched "
+                    f"{self._events_processed} + purged "
+                    f"{self._cancel_purged} + queued {len(self._queue)} "
+                    f"= {accounted}"
+                )
+
+    # ------------------------------------------------------------------
     # cancellation bookkeeping
     # ------------------------------------------------------------------
     def _note_cancel(self) -> None:
@@ -169,12 +319,14 @@ class Simulator:
         determinism -- is unaffected.
         """
         # In-place so aliases held by the run loop stay valid.
+        before = len(self._queue)
         self._queue[:] = [
             entry
             for entry in self._queue
             if not (type(entry[2]) is Event and entry[2].cancelled)
         ]
         heapq.heapify(self._queue)
+        self._cancel_purged += before - len(self._queue)
         self._cancelled = 0
 
     # ------------------------------------------------------------------
@@ -193,6 +345,17 @@ class Simulator:
         """Live (non-cancelled) entries in the queue.  O(1)."""
         return len(self._queue) - self._cancelled
 
+    @property
+    def scheduled_total(self) -> int:
+        """Events scheduled since construction (sanitizer mode only --
+        the fast-path wrappers do not pay for this counter)."""
+        return self._scheduled_total
+
+    @property
+    def cancel_purged(self) -> int:
+        """Cancelled entries physically removed from the heap so far."""
+        return self._cancel_purged
+
     def peek_time(self) -> Optional[int]:
         """Time of the next non-cancelled event, or ``None`` if drained."""
         queue = self._queue
@@ -201,6 +364,7 @@ class Simulator:
             if type(payload) is Event and payload.cancelled:
                 heapq.heappop(queue)
                 self._cancelled -= 1
+                self._cancel_purged += 1
                 continue
             return queue[0][0]
         return None
@@ -210,21 +374,29 @@ class Simulator:
         if type(payload) is Event:
             if payload.cancelled:
                 self._cancelled -= 1
+                self._cancel_purged += 1
                 return False
             callback = payload.callback
             payload.callback = None  # executed: cancel() becomes a no-op
+            assert callback is not None  # live entry: never dispatched yet
         else:
-            callback = payload
+            # Fast-path payloads ARE the callable; a cast() call here
+            # would tax the hot loop, hence the ignore.
+            callback = payload  # type: ignore[assignment]
         callback()
         self._events_processed += 1
         return True
 
     def step(self) -> bool:
         """Process one event.  Returns ``False`` when the queue is empty."""
+        sanitize = self.sanitize
         while self._queue:
-            time, _, payload = heapq.heappop(self._queue)
+            time, seq, payload = heapq.heappop(self._queue)
+            if sanitize:
+                self._check_dispatch_order(time, seq)
             if type(payload) is Event and payload.cancelled:
                 self._cancelled -= 1
+                self._cancel_purged += 1
                 continue
             if time > self.max_cycles:
                 raise SimulationError(
@@ -251,7 +423,13 @@ class Simulator:
         Events scheduled *during* a batch at the current cycle join the
         same batch (they carry a larger seq, so they run last, exactly as
         the one-at-a-time loop would order them).
+
+        In sanitizer mode a separate, instrumented loop runs instead (same
+        event order, extra invariant checks, and an :meth:`audit` on every
+        exit) so this fast loop carries zero sanitizer overhead.
         """
+        if self.sanitize:
+            return self._run_sanitized(until, stop_condition)
         self._stopped = False
         queue = self._queue
         heappop = heapq.heappop
@@ -277,6 +455,56 @@ class Simulator:
                     return self.now
                 if self._stopped:
                     return self.now
+        return self.now
+
+    def _run_sanitized(
+        self,
+        until: Optional[int] = None,
+        stop_condition: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """The :meth:`run` loop with invariant checks.
+
+        Mirrors the fast loop event-for-event (identical dispatch order,
+        hence bit-identical results) and additionally asserts batch-time
+        monotonicity and strict ``(time, seq)`` dispatch order, then
+        audits conservation on every exit path.
+        """
+        self._stopped = False
+        queue = self._queue
+        heappop = heapq.heappop
+        max_cycles = self.max_cycles
+        # audit() runs on every *clean* exit (not when an exception is
+        # already unwinding -- a half-dispatched event would fail
+        # conservation and mask the real error).
+        while not self._stopped:
+            nxt = self.peek_time()
+            if nxt is None:
+                break
+            if until is not None and nxt > until:
+                self.now = until
+                break
+            if nxt > max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded max_cycles={max_cycles}"
+                )
+            if nxt < self.now:
+                raise SimulationError(
+                    f"sanitize: time ran backwards -- next batch at "
+                    f"t={nxt} but clock already at t={self.now}"
+                )
+            self.now = nxt
+            while queue and queue[0][0] == nxt:
+                time, seq, payload = heappop(queue)
+                self._check_dispatch_order(time, seq)
+                if not self._dispatch(payload):
+                    continue
+                if stop_condition is not None and stop_condition():
+                    self.audit()
+                    return self.now
+                if self._stopped:
+                    self.audit()
+                    return self.now
+        self.audit()
         return self.now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -19,7 +19,7 @@ T = TypeVar("T")
 class DeterministicRNG:
     """A named, seeded random stream."""
 
-    def __init__(self, seed: int, name: str = "root"):
+    def __init__(self, seed: int, name: str = "root") -> None:
         self.seed = seed
         self.name = name
         self._rng = random.Random(self._derive(seed, name))
@@ -46,7 +46,7 @@ class DeterministicRNG:
     def sample(self, seq: Sequence[T], k: int) -> List[T]:
         return self._rng.sample(seq, k)
 
-    def shuffle(self, lst: list) -> None:
+    def shuffle(self, lst: List[T]) -> None:
         self._rng.shuffle(lst)
 
     def uniform(self, a: float, b: float) -> float:

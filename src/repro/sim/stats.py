@@ -16,7 +16,7 @@ class Counter:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
 
@@ -35,7 +35,7 @@ class Accumulator:
 
     __slots__ = ("name", "count", "total", "min", "max")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
@@ -67,7 +67,7 @@ class Accumulator:
 class Histogram:
     """Fixed-bucket histogram, used for task sizes and queue depths."""
 
-    def __init__(self, name: str, bucket_bounds: Iterable[float]):
+    def __init__(self, name: str, bucket_bounds: Iterable[float]) -> None:
         self.name = name
         self.bounds: List[float] = sorted(bucket_bounds)
         self.counts: List[int] = [0] * (len(self.bounds) + 1)
@@ -90,7 +90,7 @@ class Histogram:
 class StatsRegistry:
     """Shared registry of named statistics, grouped by component scope."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._accumulators: Dict[str, Accumulator] = {}
         self._histograms: Dict[str, Histogram] = {}

@@ -12,6 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from .engine import sanitize_from_env
+
+
+class TracerError(RuntimeError):
+    """An enabled tracer was used in a way that would corrupt records."""
+
 
 @dataclass(frozen=True)
 class TraceRecord:
@@ -25,11 +31,25 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects trace records; disabled tracers drop everything."""
+    """Collects trace records; disabled tracers drop everything.
 
-    def __init__(self, enabled: bool = False, capacity: int = 1_000_000):
+    ``strict`` controls what happens when an enabled tracer emits with no
+    clock bound: lenient tracers stamp ``cycle=0`` (historical behaviour,
+    fine for unit tests that never look at cycles), strict tracers raise
+    :class:`TracerError` -- a silent ``cycle=0`` makes ``between()`` /
+    ordering assertions pass vacuously.  ``strict=None`` (default)
+    follows sanitizer mode (``NDPBRIDGE_SANITIZE=1``).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        capacity: int = 1_000_000,
+        strict: Optional[bool] = None,
+    ) -> None:
         self.enabled = enabled
         self.capacity = capacity
+        self.strict = sanitize_from_env() if strict is None else bool(strict)
         self.records: List[TraceRecord] = []
         self.dropped = 0
         self._clock: Optional[Callable[[], int]] = None
@@ -38,13 +58,22 @@ class Tracer:
         """Attach the simulator's ``now`` so emit() stamps cycles."""
         self._clock = clock
 
-    def emit(self, category: str, **payload) -> None:
+    def emit(self, category: str, **payload: object) -> None:
         if not self.enabled:
             return
         if len(self.records) >= self.capacity:
             self.dropped += 1
             return
-        cycle = self._clock() if self._clock is not None else 0
+        if self._clock is not None:
+            cycle = self._clock()
+        elif self.strict:
+            raise TracerError(
+                f"tracer emitted {category!r} with no clock bound -- "
+                f"records would be stamped cycle=0; call bind_clock() "
+                f"(strict because sanitizer mode is on)"
+            )
+        else:
+            cycle = 0
         self.records.append(TraceRecord(cycle, category, payload))
 
     # -- queries -----------------------------------------------------------

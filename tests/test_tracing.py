@@ -12,7 +12,7 @@ def test_disabled_tracer_drops_everything():
 
 
 def test_emit_and_filter():
-    t = Tracer(enabled=True)
+    t = Tracer(enabled=True, strict=False)
     t.emit("bridge.gather", unit=3)
     t.emit("bridge.scatter", unit=4)
     t.emit("unit.park", block=7)
@@ -33,7 +33,7 @@ def test_clock_binding():
 
 
 def test_capacity_limit():
-    t = Tracer(enabled=True, capacity=2)
+    t = Tracer(enabled=True, capacity=2, strict=False)
     for i in range(5):
         t.emit("x", i=i)
     assert len(t.records) == 2
@@ -41,7 +41,7 @@ def test_capacity_limit():
 
 
 def test_categories_and_dump():
-    t = Tracer(enabled=True)
+    t = Tracer(enabled=True, strict=False)
     t.emit("a.b")
     t.emit("a.b")
     t.emit("c")
