@@ -667,6 +667,17 @@ class Level1Bridge:
     def backup_used_bytes(self) -> int:
         return self._backup_bytes
 
+    def backup_messages(self) -> tuple:
+        """Snapshot of backup-buffered messages (audits and tests).
+
+        Per-destination FIFO order, destinations in sorted route-key
+        order so the snapshot is deterministic.
+        """
+        out: List[Message] = []
+        for route_key in sorted(self._backup):
+            out.extend(self._backup[route_key])
+        return tuple(out)
+
     def _drain_backup(self) -> None:
         """Retry buffered messages whose destination has space again.
 

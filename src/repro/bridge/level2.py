@@ -367,5 +367,4 @@ class Level2Bridge:
         buf = self.down_buffers[rank]
         if not buf.push(msg):
             # Soft overflow, mirroring the level-1 backup behaviour.
-            buf._queue.append(msg)  # noqa: SLF001 - intentional
-            buf._used += msg.wire_bytes  # noqa: SLF001
+            buf.force_push(msg)

@@ -1,0 +1,105 @@
+"""simflow orchestration: parse, build the protocol graph, run rules.
+
+Reuses simlint's :class:`~repro.lint.checker.Diagnostic` and suppression
+machinery, but analyses the *whole tree at once* -- protocol rules are
+cross-module, so per-file linting cannot express them.  Per-line
+suppression uses ``# simflow: ignore[FL002]`` (bare ``ignore`` silences
+the line for every rule).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from ..lint.checker import (
+    Diagnostic,
+    is_suppressed,
+    iter_python_files,
+    module_path_of,
+    suppressed_lines,
+)
+from .graph import build_protocol_graph
+from .rules import FLOW_RULES
+
+#: simflow only analyses the protocol layers; the rest of the tree
+#: (engine, runtime, benchmarks, ...) neither creates nor handles
+#: messages and is out of scope by construction.
+FLOW_SCOPE_PREFIXES: Tuple[str, ...] = (
+    "repro/messages/",
+    "repro/bridge/",
+    "repro/ndp/",
+)
+
+
+def in_flow_scope(module_path: str) -> bool:
+    return module_path.startswith(FLOW_SCOPE_PREFIXES)
+
+
+def analyze_sources(
+    modules: Sequence[Tuple[Union[str, Path], str, str]]
+) -> List[Diagnostic]:
+    """Analyse ``(path, module_path, source)`` triples as one tree.
+
+    Out-of-scope modules are ignored; modules that fail to parse yield
+    an FL000 diagnostic and are dropped from the graph (the rules then
+    run on whatever parsed).
+    """
+    diagnostics: List[Diagnostic] = []
+    parsed: List[Tuple[str, ast.Module]] = []
+    path_of: Dict[str, str] = {}
+    suppress_of: Dict[str, Dict[int, FrozenSet[str]]] = {}
+    for path, module_path, source in modules:
+        if not in_flow_scope(module_path):
+            continue
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            diagnostics.append(
+                Diagnostic(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    rule="FL000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        parsed.append((module_path, tree))
+        path_of[module_path] = str(path)
+        suppress_of[module_path] = suppressed_lines(source, tool="simflow")
+
+    graph = build_protocol_graph(sorted(parsed, key=lambda mt: mt[0]))
+    for rule in FLOW_RULES:
+        for module_path, line, col, message in rule.check(graph):
+            suppressed = suppress_of.get(module_path, {})
+            if is_suppressed(suppressed, line, rule.code):
+                continue
+            diagnostics.append(
+                Diagnostic(
+                    path=path_of.get(module_path, module_path),
+                    line=line,
+                    col=col,
+                    rule=rule.code,
+                    message=message,
+                )
+            )
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return diagnostics
+
+
+def analyze_paths(
+    paths: Sequence[Union[str, Path]],
+    module_path_override: Optional[Dict[str, str]] = None,
+) -> List[Diagnostic]:
+    """Analyse every .py file under ``paths`` as one protocol tree."""
+    triples: List[Tuple[Union[str, Path], str, str]] = []
+    for path in iter_python_files(paths):
+        module_path = (module_path_override or {}).get(
+            str(path), module_path_of(path)
+        )
+        triples.append(
+            (path, module_path, path.read_text(encoding="utf-8"))
+        )
+    return analyze_sources(triples)

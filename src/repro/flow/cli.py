@@ -1,10 +1,9 @@
-"""``python -m repro.lint`` -- the simlint command line.
+"""``python -m repro.flow`` -- the simflow command line.
 
-Exit status 0 when clean, 1 when any diagnostic survives suppression
-and the allowlist, 2 on usage errors.  Default output is one
-``path:line:col: RULE message`` line per finding, grep- and
-editor-friendly; ``--format sarif`` emits a SARIF 2.1.0 report instead
-(for CI PR annotation), optionally into ``--output FILE``.
+Same conventions as ``python -m repro.lint``: exit 0 when clean, 1 when
+findings survive suppression, 2 on usage errors; default output is
+``path:line:col: RULE message``, ``--format sarif`` emits SARIF 2.1.0
+(optionally into ``--output FILE``) for CI annotation.
 """
 
 from __future__ import annotations
@@ -14,48 +13,42 @@ import json
 from pathlib import Path
 from typing import List, Optional
 
-from .allowlist import ALLOWLIST
-from .checker import iter_python_files, lint_file
-from .rules import RULES
-from .sarif import sarif_report
+from ..lint.sarif import sarif_report
+from .checker import analyze_paths
+from .rules import FLOW_RULES
 
 
 def _list_rules() -> str:
-    lines = ["simlint rules:"]
-    for rule in RULES:
+    lines = ["simflow rules:"]
+    for rule in FLOW_RULES:
         lines.append(f"  {rule.code}  {rule.name}")
         lines.append(f"         {rule.description}")
     lines.append("")
-    lines.append("allowlisted modules:")
-    for entry in ALLOWLIST:
-        lines.append(
-            f"  {entry.rule}  {entry.module}: {entry.justification}"
-        )
-    lines.append("")
     lines.append(
-        "suppress a single line with `# simlint: ignore[SL001]` "
-        "(comma-separate codes; bare `# simlint: ignore` silences all)"
+        "suppress a single line with `# simflow: ignore[FL002]` "
+        "(comma-separate codes; bare `# simflow: ignore` silences all)"
     )
     return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.lint",
+        prog="python -m repro.flow",
         description=(
-            "simlint: determinism & simulator-invariant static analysis"
+            "simflow: message-protocol static analysis "
+            "(send->handle graph, backpressure, deadlock bounds)"
         ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
         default=["src"],
-        help="files or directories to lint (default: src)",
+        help="files or directories to analyse (default: src)",
     )
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the rule table and allowlist, then exit",
+        help="print the rule table, then exit",
     )
     parser.add_argument(
         "--format",
@@ -82,17 +75,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_list_rules())
         return 0
 
-    files = iter_python_files(args.paths)
-    if not files:
-        parser.error(f"no python files found under {args.paths!r}")
-
-    diagnostics = []
-    for path in files:
-        diagnostics.extend(lint_file(path))
+    diagnostics = analyze_paths(args.paths)
 
     if args.format == "sarif":
         text = json.dumps(
-            sarif_report(diagnostics, RULES, "simlint"), indent=2
+            sarif_report(diagnostics, FLOW_RULES, "simflow"), indent=2
         )
         if args.output:
             Path(args.output).write_text(text + "\n", encoding="utf-8")
@@ -111,12 +98,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         total = len(diagnostics)
         if total:
             print(
-                f"simlint: {total} finding(s) in {len(files)} file(s) "
-                f"({len(RULES)} rules)"
+                f"simflow: {total} finding(s) "
+                f"({len(FLOW_RULES)} rules)"
             )
         else:
-            print(
-                f"simlint: clean -- {len(files)} file(s), "
-                f"{len(RULES)} rules"
-            )
+            print(f"simflow: clean -- {len(FLOW_RULES)} rules")
     return 1 if diagnostics else 0

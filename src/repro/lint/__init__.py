@@ -24,6 +24,11 @@ SL005    no mutable default arguments on methods of ``Component``
          subclasses
 SL006    ``schedule*()`` lambda callbacks must not close over loop
          variables (late-binding hazard)
+SL007    no builtin ``hash()`` -- salted per process
+         (``PYTHONHASHSEED``), so exec workers disagree
+SL008    no builtin ``id()`` in sort keys or comparisons inside
+         ``sim/``/``bridge/`` -- allocation addresses differ across
+         processes and runs
 =======  ==============================================================
 
 Findings can be suppressed per line with ``# simlint: ignore[SL003]``
@@ -35,9 +40,18 @@ justification.
 Run it as ``python -m repro.lint [paths...]`` (defaults to ``src/``).
 """
 
-from .checker import Diagnostic, lint_file, lint_paths, lint_source
+from .checker import (
+    Diagnostic,
+    is_suppressed,
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_path_of,
+    suppressed_lines,
+)
 from .rules import RULES, Rule
 from .allowlist import ALLOWLIST, AllowlistEntry
+from .sarif import sarif_report
 
 __all__ = [
     "ALLOWLIST",
@@ -45,7 +59,11 @@ __all__ = [
     "Diagnostic",
     "RULES",
     "Rule",
+    "is_suppressed",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "module_path_of",
+    "sarif_report",
+    "suppressed_lines",
 ]

@@ -19,12 +19,18 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Union
 from .allowlist import is_allowlisted
 from .rules import RULES, ModuleContext
 
-_SUPPRESS_RE = re.compile(
-    r"#\s*simlint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?"
-)
-
-#: Sentinel rule set meaning "every rule" for a bare `# simlint: ignore`.
+#: Sentinel rule set meaning "every rule" for a bare `# <tool>: ignore`.
 _ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+def suppression_pattern(tool: str) -> "re.Pattern[str]":
+    """The per-line suppression regex for ``tool`` (simlint, simflow, ...)."""
+    return re.compile(
+        rf"#\s*{re.escape(tool)}:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?"
+    )
+
+
+_SUPPRESS_RE = suppression_pattern("simlint")
 
 
 @dataclass(frozen=True)
@@ -44,11 +50,18 @@ class Diagnostic:
         return self.format()
 
 
-def _suppressions(source: str) -> Dict[int, FrozenSet[str]]:
-    """Map line number -> rules suppressed on that line."""
+def suppressed_lines(
+    source: str, tool: str = "simlint"
+) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> rules suppressed on that line for ``tool``.
+
+    simflow reuses this with ``tool="simflow"``; the syntax is identical
+    (``# simflow: ignore[FL003]``, bare ``ignore`` silences the line).
+    """
+    pattern = _SUPPRESS_RE if tool == "simlint" else suppression_pattern(tool)
     out: Dict[int, FrozenSet[str]] = {}
     for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(text)
+        match = pattern.search(text)
         if match is None:
             continue
         rules = match.group(1)
@@ -61,7 +74,21 @@ def _suppressions(source: str) -> Dict[int, FrozenSet[str]]:
     return out
 
 
-def _module_path_of(path: Path) -> str:
+#: Back-compat alias (pre-simflow name).
+_suppressions = suppressed_lines
+
+
+def is_suppressed(
+    suppressed: Dict[int, FrozenSet[str]], line: int, code: str
+) -> bool:
+    """Is rule ``code`` suppressed on ``line`` of a parsed suppression map?"""
+    rules_here = suppressed.get(line)
+    return rules_here is not None and (
+        rules_here is _ALL_RULES or "*" in rules_here or code in rules_here
+    )
+
+
+def module_path_of(path: Path) -> str:
     """Path relative to the package root, e.g. 'repro/sim/engine.py'.
 
     Files outside a ``repro`` package keep their name, which means
@@ -72,6 +99,10 @@ def _module_path_of(path: Path) -> str:
         if part == "repro":
             return "/".join(parts[i:])
     return path.name
+
+
+#: Back-compat alias (pre-simflow name).
+_module_path_of = module_path_of
 
 
 def lint_source(
@@ -87,7 +118,7 @@ def lint_source(
     """
     path = Path(path)
     if module_path is None:
-        module_path = _module_path_of(path)
+        module_path = module_path_of(path)
     try:
         tree = ast.parse(source)
     except SyntaxError as exc:
@@ -105,18 +136,13 @@ def lint_source(
         module_path=module_path,
         fs_parts=tuple(Path(path).parts),
     )
-    suppressed = _suppressions(source)
+    suppressed = suppressed_lines(source)
     diagnostics: List[Diagnostic] = []
     for rule in RULES:
         if is_allowlisted(rule.code, module_path):
             continue
         for line, col, message in rule.check(ctx):
-            rules_here = suppressed.get(line)
-            if rules_here is not None and (
-                rules_here is _ALL_RULES
-                or "*" in rules_here
-                or rule.code in rules_here
-            ):
+            if is_suppressed(suppressed, line, rule.code):
                 continue
             diagnostics.append(
                 Diagnostic(

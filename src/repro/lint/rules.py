@@ -622,6 +622,79 @@ class NoBuiltinHash(Rule):
                 )
 
 
+# ----------------------------------------------------------------------
+# SL008 -- builtin id() in sort keys or comparisons
+# ----------------------------------------------------------------------
+_SL008_DIRS = ("repro/sim/", "repro/bridge/")
+_SORT_CALLEES = frozenset({"sorted", "min", "max", "sort"})
+
+
+def _id_calls(node: ast.AST) -> Iterator[ast.Call]:
+    for n in ast.walk(node):
+        if (
+            isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Name)
+            and n.func.id == "id"
+        ):
+            yield n
+
+
+class NoIdOrdering(Rule):
+    code = "SL008"
+    name = "no-id-ordering"
+    description = (
+        "builtin id() is an allocation address: it differs across "
+        "processes and runs, so an id()-based sort key or comparison "
+        "lets memory layout feed ordering decisions (same family as "
+        "SL007 hash()); use explicit sequence numbers or stable fields"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module_path.startswith(_SL008_DIRS):
+            return
+        seen: Set[Tuple[int, int]] = set()
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _callee_terminal(node.func) in _SORT_CALLEES
+            ):
+                for kw in node.keywords:
+                    if kw.arg != "key":
+                        continue
+                    for call in _id_calls(kw.value):
+                        where = (call.lineno, call.col_offset)
+                        if where in seen:
+                            continue
+                        seen.add(where)
+                        yield (
+                            call.lineno,
+                            call.col_offset,
+                            "id() in a sort key -- object addresses "
+                            "differ across processes/runs, so the order "
+                            "is irreproducible; sort by a sequence "
+                            "number or stable field",
+                        )
+            elif isinstance(node, ast.Compare) and any(
+                isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                for op in node.ops
+            ):
+                # Only *ordering* comparisons: identity/membership tests
+                # (==, is, in) on id() are address-stable within a run.
+                for operand in [node.left, *node.comparators]:
+                    for call in _id_calls(operand):
+                        where = (call.lineno, call.col_offset)
+                        if where in seen:
+                            continue
+                        seen.add(where)
+                        yield (
+                            call.lineno,
+                            call.col_offset,
+                            "id() in a comparison -- object addresses "
+                            "differ across processes/runs; compare "
+                            "sequence numbers or stable fields instead",
+                        )
+
+
 RULES: Tuple[Rule, ...] = (
     NoWallClock(),
     NoGlobalRandom(),
@@ -630,6 +703,7 @@ RULES: Tuple[Rule, ...] = (
     NoMutableComponentDefaults(),
     NoLateBindingCallback(),
     NoBuiltinHash(),
+    NoIdOrdering(),
 )
 
 RULE_CODES: frozenset = frozenset(rule.code for rule in RULES)

@@ -1,0 +1,89 @@
+"""SARIF 2.1.0 emission, shared by simlint and simflow.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format CI systems use to annotate findings inline on pull requests.
+``sarif_report`` converts a list of :class:`~repro.lint.checker.Diagnostic`
+plus the producing tool's rule table into one SARIF run; the CLIs expose
+it behind ``--format sarif`` (the human ``file:line`` format stays the
+default).  stdlib only -- the report is a plain dict for ``json.dumps``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+    "master/Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule: Any) -> Dict[str, Any]:
+    name = getattr(rule, "name", "") or rule.code
+    description = getattr(rule, "description", "") or name
+    return {
+        "id": rule.code,
+        "name": name,
+        "shortDescription": {"text": name},
+        "fullDescription": {"text": description},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def sarif_report(
+    diagnostics: Iterable[Any],
+    rules: Sequence[Any],
+    tool_name: str,
+    tool_version: str = "1.0.0",
+) -> Dict[str, Any]:
+    """One SARIF run for ``tool_name`` over the given diagnostics.
+
+    ``rules`` supplies the rule descriptors (objects with ``code``,
+    ``name``, ``description``); diagnostics whose rule is not listed
+    (e.g. the SL000/FL000 syntax-error pseudo-rules) are still emitted,
+    just without a ``ruleIndex`` back-reference.
+    """
+    descriptors = [_rule_descriptor(rule) for rule in rules]
+    index = {rule.code: i for i, rule in enumerate(rules)}
+    results: List[Dict[str, Any]] = []
+    for diag in diagnostics:
+        result: Dict[str, Any] = {
+            "ruleId": diag.rule,
+            "level": "error",
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(diag.path).as_posix(),
+                        },
+                        "region": {
+                            "startLine": max(1, diag.line),
+                            # SARIF columns are 1-based; ast's are 0-based.
+                            "startColumn": max(1, diag.col + 1),
+                        },
+                    }
+                }
+            ],
+        }
+        if diag.rule in index:
+            result["ruleIndex"] = index[diag.rule]
+        results.append(result)
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "version": tool_version,
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

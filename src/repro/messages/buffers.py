@@ -10,7 +10,7 @@ pauses gathering, which is exactly the backpressure this class exposes.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, List, Optional, Tuple
 
 from .types import Message
 
@@ -26,6 +26,10 @@ class MessageBuffer:
         self._queue: Deque[Message] = deque()
         self._used = 0
         self.high_water = 0
+        # Rejection accounting, mirroring Mailbox: every push that
+        # returns False is recorded so no message can vanish silently.
+        self.dropped_messages = 0
+        self.dropped_bytes = 0
 
     @property
     def used_bytes(self) -> int:
@@ -45,12 +49,28 @@ class MessageBuffer:
             # an otherwise-empty buffer (store-and-forward minimum), else
             # it could never traverse this hop at all.
             if not (msg.wire_bytes > self.capacity_bytes and self.is_empty()):
+                self.dropped_messages += 1
+                self.dropped_bytes += msg.wire_bytes
                 return False
         self._queue.append(msg)
         self._used += msg.wire_bytes
         if self._used > self.high_water:
             self.high_water = self._used
         return True
+
+    def force_push(self, msg: Message) -> None:
+        """Append unconditionally, ignoring the capacity bound.
+
+        The sanctioned soft-overflow escape (the level-2 bridge mirrors
+        the level-1 backup-buffer behaviour rather than wedging a round):
+        the message is admitted, ``used_bytes`` may exceed
+        ``capacity_bytes``, and -- unlike poking the private queue -- the
+        byte accounting and high-water mark stay coherent.
+        """
+        self._queue.append(msg)
+        self._used += msg.wire_bytes
+        if self._used > self.high_water:
+            self.high_water = self._used
 
     def pop(self) -> Optional[Message]:
         if not self._queue:
@@ -78,6 +98,10 @@ class MessageBuffer:
             out.append(self.pop())
             taken += head.wire_bytes
         return out
+
+    def pending_messages(self) -> Tuple[Message, ...]:
+        """Snapshot of buffered messages, oldest first (audits and tests)."""
+        return tuple(self._queue)
 
     def __len__(self) -> int:
         return len(self._queue)

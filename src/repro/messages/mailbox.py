@@ -38,6 +38,13 @@ class Mailbox:
         self.high_water = 0
         self.total_enqueued = 0
         self.total_dequeued = 0
+        # Rejection accounting: a False return hands the message back to
+        # the caller, and a caller that forgets it has silently dropped
+        # it.  These counters record every rejection so stats and the
+        # message auditor (repro/flow/auditor.py) can account for each
+        # one instead of losing it.
+        self.dropped_messages = 0
+        self.dropped_bytes = 0
 
     # -- producer side -----------------------------------------------------
     @property
@@ -53,8 +60,14 @@ class Mailbox:
         return msg.wire_bytes <= self.free_bytes
 
     def enqueue(self, msg: Message) -> bool:
-        """Append at the tail.  Returns False when the region is full."""
+        """Append at the tail.  Returns False when the region is full.
+
+        A rejected message stays the caller's responsibility; the
+        rejection is recorded in ``dropped_messages``/``dropped_bytes``.
+        """
         if not self.fits(msg):
+            self.dropped_messages += 1
+            self.dropped_bytes += msg.wire_bytes
             return False
         self._queue.append(msg)
         self._used += msg.wire_bytes
@@ -103,6 +116,10 @@ class Mailbox:
                 self._head_fetched = 0
                 self.total_dequeued += 1
         return completed, taken
+
+    def pending_messages(self) -> Tuple[Message, ...]:
+        """Snapshot of queued messages, oldest first (audits and tests)."""
+        return tuple(self._queue)
 
     def drain_all(self) -> List[Message]:
         """Remove and return every queued message (host-forwarding path)."""

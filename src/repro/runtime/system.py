@@ -44,6 +44,15 @@ class NDPSystem:
         self.fabric = build_fabric(
             self.sim, config, self.stats, self, self.rng.substream("fabric")
         )
+        # Sanitizer mode implies message-lifecycle auditing: observation-
+        # only instance wrappers, so plain runs pay zero overhead and
+        # sanitized runs stay bit-identical (tests/test_flow_auditor.py).
+        self.auditor = None
+        if self.sim.sanitize:
+            from ..flow.auditor import MessageAuditor
+
+            self.auditor = MessageAuditor()
+            self.auditor.attach(self)
         self.tracker.on_epoch_advance(self._on_epoch_advance)
         self._ran = False
 
@@ -89,6 +98,8 @@ class NDPSystem:
                 f"outstanding={self.tracker.outstanding(self.tracker.epoch)}, "
                 f"task_msgs={self.tracker.task_messages_in_flight}"
             )
+        if self.auditor is not None:
+            self.auditor.finish(self)
         return self
 
     # ------------------------------------------------------------------

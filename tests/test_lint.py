@@ -82,6 +82,12 @@ FIXTURES = {
         "repro/runtime/fixture.py",
         2,
     ),
+    "SL008": (
+        "def f(xs):\n"
+        "    return sorted(xs, key=lambda x: id(x))\n",
+        "repro/bridge/fixture.py",
+        2,
+    ),
 }
 
 
@@ -215,6 +221,29 @@ def test_comprehension_lambda_is_flagged():
     assert "SL006" in codes(src, "repro/ndp/fixture.py")
 
 
+def test_id_in_comparison_is_flagged():
+    src = (
+        "def f(a, b):\n"
+        "    return id(a) < id(b)\n"
+    )
+    assert "SL008" in codes(src, "repro/sim/fixture.py")
+
+
+def test_id_outside_scoped_dirs_is_clean():
+    source, _, _ = FIXTURES["SL008"]
+    assert codes(source, "repro/analysis/fixture.py") == []
+
+
+def test_plain_id_call_is_clean():
+    # id() as an identity probe (e.g. caching, debug) is fine; only
+    # ordering on it is nondeterministic.
+    src = (
+        "def f(xs, seen):\n"
+        "    return [x for x in xs if id(x) not in seen]\n"
+    )
+    assert codes(src, "repro/bridge/fixture.py") == []
+
+
 # ----------------------------------------------------------------------
 # machinery
 # ----------------------------------------------------------------------
@@ -283,3 +312,39 @@ def test_cli_list_rules():
     for code in RULE_CODES:
         assert code in proc.stdout
     assert "repro/sim/rng.py" in proc.stdout  # allowlist shown with why
+
+
+def test_cli_sarif_output(tmp_path):
+    import json
+
+    bad = tmp_path / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\nt = time.time()\n")
+    out = tmp_path / "lint.sarif"
+    proc = _run_cli("--format", "sarif", "-o", str(out), str(bad))
+    assert proc.returncode == 1
+    report = json.loads(out.read_text())
+    assert report["version"] == "2.1.0"
+    run = report["runs"][0]
+    assert run["tool"]["driver"]["name"] == "simlint"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == RULE_CODES
+    result = run["results"][0]
+    assert result["ruleId"] == "SL001"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 2
+    assert region["startColumn"] >= 1  # SARIF columns are 1-based
+    # ruleIndex must point back into the driver rule table.
+    assert rule_ids[result["ruleIndex"]] == "SL001"
+
+
+def test_cli_sarif_clean_is_exit_0(tmp_path):
+    import json
+
+    good = tmp_path / "repro" / "sim" / "ok.py"
+    good.parent.mkdir(parents=True)
+    good.write_text("x = 1\n")
+    proc = _run_cli("--format", "sarif", str(good))
+    assert proc.returncode == 0
+    report = json.loads(proc.stdout)
+    assert report["runs"][0]["results"] == []

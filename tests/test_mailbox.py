@@ -83,6 +83,72 @@ def test_invalid_construction_and_fetch():
         mb.fetch(0)
 
 
+def test_fetch_budget_smaller_than_head():
+    """A budget below the head's wire size makes partial progress only."""
+    mb = Mailbox(1024)
+    msg = task_msg()  # 64 wire bytes
+    mb.enqueue(msg)
+    got, taken = mb.fetch(63)
+    assert got == [] and taken == 63
+    # The last byte completes the message.
+    got, taken = mb.fetch(63)
+    assert got == [msg] and taken == 1
+    assert mb.is_empty() and mb.used_bytes == 0
+
+
+def test_fetch_exact_fit_budget():
+    mb = Mailbox(1024)
+    msgs = [task_msg(i) for i in range(2)]
+    for m in msgs:
+        mb.enqueue(m)
+    got, taken = mb.fetch(msgs[0].wire_bytes)
+    assert got == [msgs[0]]
+    assert taken == msgs[0].wire_bytes
+    got, taken = mb.fetch(msgs[1].wire_bytes)
+    assert got == [msgs[1]]
+    assert mb.is_empty()
+
+
+def test_fetch_budget_one_byte():
+    """The minimum positive budget always makes forward progress."""
+    mb = Mailbox(1024)
+    msg = task_msg()
+    mb.enqueue(msg)
+    for _ in range(msg.wire_bytes - 1):
+        got, taken = mb.fetch(1)
+        assert got == [] and taken == 1
+    got, taken = mb.fetch(1)
+    assert got == [msg] and taken == 1
+
+
+def test_rejection_counters():
+    mb = Mailbox(128)
+    assert mb.enqueue(task_msg(0))
+    assert mb.enqueue(task_msg(1))
+    assert mb.dropped_messages == 0 and mb.dropped_bytes == 0
+    rejected = task_msg(2)
+    assert not mb.enqueue(rejected)
+    assert mb.dropped_messages == 1
+    assert mb.dropped_bytes == rejected.wire_bytes
+    # enqueue_or_raise records the rejection too before raising.
+    with pytest.raises(MailboxFullError):
+        mb.enqueue_or_raise(task_msg(3))
+    assert mb.dropped_messages == 2
+
+
+def test_pending_messages_snapshot():
+    mb = Mailbox(1024)
+    msgs = [task_msg(i) for i in range(3)]
+    for m in msgs:
+        mb.enqueue(m)
+    snap = mb.pending_messages()
+    assert snap == tuple(msgs)
+    mb.fetch(64)
+    # The snapshot is a copy, not a live view.
+    assert snap == tuple(msgs)
+    assert mb.pending_messages() == tuple(msgs[1:])
+
+
 @settings(max_examples=50, deadline=None)
 @given(st.lists(st.integers(min_value=0, max_value=20), max_size=30),
        st.integers(min_value=64, max_value=512))

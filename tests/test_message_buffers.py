@@ -62,3 +62,70 @@ def test_high_water():
 def test_invalid_capacity():
     with pytest.raises(ValueError):
         MessageBuffer("b", 0)
+
+
+def _oversize_msg(block_bytes=2048):
+    from repro.messages import DataMessage
+
+    return DataMessage(
+        src_unit=0, dst_unit=1, block_id=0, block_bytes=block_bytes
+    )
+
+
+def test_oversize_message_admitted_into_empty_buffer():
+    """A message larger than the whole buffer is a 64 B sub-message
+    train; it must be able to traverse the hop alone (buffers.py
+    store-and-forward minimum)."""
+    buf = MessageBuffer("b", 128)
+    big = _oversize_msg()  # 2112 wire bytes >> 128
+    assert big.wire_bytes > buf.capacity_bytes
+    assert buf.push(big)
+    assert buf.used_bytes == big.wire_bytes  # accounting stays truthful
+    assert buf.pop() is big
+    assert buf.used_bytes == 0
+
+
+def test_oversize_message_rejected_when_buffer_occupied():
+    buf = MessageBuffer("b", 128)
+    assert buf.push(task_msg(0))
+    big = _oversize_msg()
+    assert not buf.push(big)
+    assert buf.dropped_messages == 1
+    assert buf.dropped_bytes == big.wire_bytes
+
+
+def test_rejection_counters():
+    buf = MessageBuffer("b", 128)
+    assert buf.push(task_msg(0))
+    assert buf.push(task_msg(1))
+    assert buf.dropped_messages == 0 and buf.dropped_bytes == 0
+    rejected = task_msg(2)
+    assert not buf.push(rejected)
+    assert not buf.push(rejected)
+    assert buf.dropped_messages == 2
+    assert buf.dropped_bytes == 2 * rejected.wire_bytes
+
+
+def test_force_push_ignores_capacity_but_keeps_accounting():
+    buf = MessageBuffer("b", 128)
+    msgs = [task_msg(i) for i in range(3)]
+    assert buf.push(msgs[0])
+    assert buf.push(msgs[1])
+    assert not buf.push(msgs[2])
+    buf.force_push(msgs[2])  # soft overflow: admitted anyway
+    assert buf.used_bytes == 192 > buf.capacity_bytes
+    assert buf.high_water == 192
+    assert [buf.pop() for _ in range(3)] == msgs
+    assert buf.used_bytes == 0
+
+
+def test_pending_messages_snapshot():
+    buf = MessageBuffer("b", 1024)
+    msgs = [task_msg(i) for i in range(3)]
+    for m in msgs:
+        buf.push(m)
+    snap = buf.pending_messages()
+    assert snap == tuple(msgs)
+    buf.pop()
+    assert snap == tuple(msgs)  # a copy, not a live view
+    assert buf.pending_messages() == tuple(msgs[1:])
