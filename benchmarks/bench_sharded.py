@@ -1,0 +1,153 @@
+"""Sharded-engine scaling benchmark: wall-clock vs shard count.
+
+Tracks the repository's own parallel-engine performance (like
+``bench_engine.py`` tracks the serial hot path): the fixed tree-on-O
+workload runs under :func:`repro.runtime.shards.run_app_sharded` at
+several machine sizes and shard counts, inline and with one forked
+worker per shard, and the wall-clocks land in ``BENCH_sharded.json`` at
+the repo root.
+
+Speedups are *recorded, never asserted*: CI runners are frequently
+core-limited (a single-core box pays the fork/barrier overhead with no
+concurrency to show for it), so the JSON notes ``cpu_count`` next to
+every measurement and the numbers speak for themselves on real
+hardware.
+
+``NDPBRIDGE_BENCH_SMOKE=1`` shrinks the matrix for CI (128 units,
+shards 1/2); smoke results are recorded under separate keys.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.config import ConfigError, Design, scaled_config, validate_shardable
+from repro.runtime.shards import run_app_sharded
+
+SMOKE = os.environ.get("NDPBRIDGE_BENCH_SMOKE", "0") not in ("0", "")
+
+BENCH_SHARDED_JSON = (
+    Path(__file__).resolve().parent.parent / "BENCH_sharded.json"
+)
+
+APP = "tree"
+DESIGN = Design.O
+SEED = 17
+SCALE = 0.2 if SMOKE else 1.0
+#: (units, shard counts swept).  1024 carries the full curve; 512 is the
+#: paper-default machine the acceptance speedup is recorded on.
+MATRIX = (
+    [(128, [1, 2])]
+    if SMOKE
+    else [(128, [1, 2]), (512, [1, 4]), (1024, [1, 2, 4, 8])]
+)
+
+
+def _suffix(key: str) -> str:
+    return f"{key}_smoke" if SMOKE else key
+
+
+def record_sharded(key: str, payload: dict) -> None:
+    """Merge one measurement into ``BENCH_sharded.json`` under ``key``."""
+    data: Dict[str, object] = {}
+    if BENCH_SHARDED_JSON.exists():
+        try:
+            data = json.loads(BENCH_SHARDED_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[key] = payload
+    BENCH_SHARDED_JSON.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def _time_run(units: int, shards: int, parallel: Optional[bool]) -> dict:
+    cfg = scaled_config(units, DESIGN, seed=42)
+    t0 = time.perf_counter()
+    result = run_app_sharded(
+        APP, cfg, scale=SCALE, seed=SEED, shards=shards,
+        verify=False, parallel=parallel,
+    )
+    wall_s = time.perf_counter() - t0
+    info = result.system
+    return {
+        "wall_s": round(wall_s, 4),
+        "makespan": result.metrics.makespan,
+        "events": info.events_processed,
+        "windows": info.windows,
+        "boundary_tasks": info.boundary_messages,
+    }
+
+
+def test_sharded_scaling_curve():
+    """Wall-clock curve over shard counts; serial shards=1 is the base."""
+    cpu_count = os.cpu_count() or 1
+    curve: List[dict] = []
+    for units, shard_counts in MATRIX:
+        cfg = scaled_config(units, DESIGN, seed=42)
+        base_wall = None
+        for shards in shard_counts:
+            try:
+                validate_shardable(cfg, shards)
+            except ConfigError:
+                continue
+            row = {"units": units, "shards": shards}
+            row.update(_time_run(units, shards, parallel=shards > 1))
+            if shards == 1:
+                base_wall = row["wall_s"]
+            row["speedup"] = (
+                round(base_wall / row["wall_s"], 3)
+                if base_wall and row["wall_s"] > 0
+                else None
+            )
+            curve.append(row)
+            print(
+                f"\nsharded: {units:5d} units x {shards} shards -> "
+                f"{row['wall_s']:.3f}s"
+                + (
+                    f" (speedup {row['speedup']}x)"
+                    if row["speedup"] is not None
+                    else ""
+                )
+            )
+    record_sharded(_suffix("sharded_scaling"), {
+        "app": APP,
+        "design": DESIGN.value,
+        "scale": SCALE,
+        "seed": SEED,
+        "cpu_count": cpu_count,
+        "curve": curve,
+    })
+    assert curve, "no shardable configuration in the matrix"
+
+
+def test_sharded_inline_overhead():
+    """Window/barrier machinery cost with parallelism taken out.
+
+    Inline N-shard vs serial isolates the protocol overhead (windows,
+    barrier bookkeeping, boundary serialization) from fork/IPC costs --
+    the number that should stay close to 1.0 regardless of core count.
+    """
+    units = 128
+    serial = _time_run(units, 1, parallel=None)
+    inline = _time_run(units, 2, parallel=False)
+    overhead = (
+        inline["wall_s"] / serial["wall_s"] if serial["wall_s"] > 0 else None
+    )
+    record_sharded(_suffix("sharded_inline_overhead"), {
+        "units": units,
+        "serial_wall_s": serial["wall_s"],
+        "inline2_wall_s": inline["wall_s"],
+        "overhead_ratio": round(overhead, 3) if overhead else None,
+        "windows": inline["windows"],
+        "boundary_tasks": inline["boundary_tasks"],
+    })
+    print(
+        f"\nsharded inline overhead: serial {serial['wall_s']:.3f}s, "
+        f"inline-2 {inline['wall_s']:.3f}s "
+        f"({overhead:.2f}x, {inline['windows']} windows)"
+    )

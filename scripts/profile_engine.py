@@ -6,10 +6,15 @@ bench_engine.py`` times) under cProfile, prints the top functions by
 cumulative time, and records wall-clock + events/sec into
 ``BENCH_engine.json`` under the ``profile_tree_on_O`` key.
 
+With ``--shards N`` the same workload instead runs on the sharded
+engine (inline, so the profile covers one process executing every
+shard's hot loop plus the window/barrier machinery) and records under
+``profile_tree_on_O_shardedN``.
+
 Usage:
     PYTHONPATH=src python scripts/profile_engine.py [--smoke]
-        [--units N] [--scale F] [--sort cumulative|tottime] [--top N]
-        [--dump profile.prof]
+        [--units N] [--scale F] [--shards N]
+        [--sort cumulative|tottime] [--top N] [--dump profile.prof]
 """
 
 from __future__ import annotations
@@ -34,6 +39,9 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=17)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny run for CI (scale 0.1)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="profile the sharded engine (inline) with "
+                             "this many shards")
     parser.add_argument("--sort", default="cumulative",
                         choices=["cumulative", "tottime"])
     parser.add_argument("--top", type=int, default=25)
@@ -48,18 +56,31 @@ def main() -> int:
     from repro.config import scaled_config
 
     cfg = scaled_config(args.units, Design.O, seed=args.seed)
-    app = make_app("tree", scale=args.scale, seed=args.seed)
 
     profiler = cProfile.Profile()
-    t0 = time.perf_counter()
-    profiler.enable()
-    result = run_app(app, cfg)
-    profiler.disable()
-    wall_s = time.perf_counter() - t0
+    if args.shards > 1:
+        from repro.runtime.shards import run_app_sharded
 
-    events = result.system.sim.events_processed
+        t0 = time.perf_counter()
+        profiler.enable()
+        result = run_app_sharded(
+            "tree", cfg, scale=args.scale, seed=args.seed,
+            shards=args.shards, verify=False, parallel=False,
+        )
+        profiler.disable()
+        wall_s = time.perf_counter() - t0
+        events = result.system.events_processed
+    else:
+        app = make_app("tree", scale=args.scale, seed=args.seed)
+        t0 = time.perf_counter()
+        profiler.enable()
+        result = run_app(app, cfg)
+        profiler.disable()
+        wall_s = time.perf_counter() - t0
+        events = result.system.sim.events_processed
+
     print(f"tree-on-O: units={args.units} scale={args.scale} "
-          f"seed={args.seed}")
+          f"seed={args.seed} shards={args.shards}")
     print(f"makespan={result.metrics.makespan} events={events} "
           f"wall={wall_s:.3f}s ({events / wall_s:,.0f} events/s under "
           f"profiler)\n")
@@ -74,10 +95,13 @@ def main() -> int:
         print(f"raw profile written to {args.dump}")
 
     key = "profile_tree_on_O_smoke" if args.smoke else "profile_tree_on_O"
+    if args.shards > 1:
+        key = f"{key}_sharded{args.shards}"
     record_bench(key, {
         "units": args.units,
         "scale": args.scale,
         "seed": args.seed,
+        "shards": args.shards,
         "makespan": result.metrics.makespan,
         "events": events,
         "wall_s_profiled": round(wall_s, 4),

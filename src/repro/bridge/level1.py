@@ -73,6 +73,10 @@ class Level1Bridge:
         unit_ids = list(system.addr_map.units_in_rank(global_rank))
         self.units: List[NDPUnit] = [system.units[i] for i in unit_ids]
         self._unit_ids = set(unit_ids)
+        # First unit id of this rank; unit ids need not start at
+        # rank * banks_per_rank when the system is a shard of a larger
+        # machine (the shard's address map rebases the hierarchy).
+        self._unit_base = unit_ids[0] if unit_ids else 0
         scope = f"bridge{global_rank}"
         self.chip_links: List[Link] = [
             Link(
@@ -168,7 +172,7 @@ class Level1Bridge:
     def _link_of(self, unit_id: int) -> Link:
         """The DQ-slice link of the chip holding ``unit_id``'s bank."""
         topo = self.config.topology
-        local = unit_id - self.global_rank * topo.banks_per_rank
+        local = unit_id - self._unit_base
         return self.chip_links[local // topo.banks_per_chip]
 
     # ------------------------------------------------------------------

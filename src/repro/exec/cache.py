@@ -88,8 +88,17 @@ def cell_key(
     scale: float,
     seed: int,
     verify: bool = True,
+    shards: int = 1,
+    partition: str = "",
 ) -> str:
-    """Cache key for one simulation cell."""
+    """Cache key for one simulation cell.
+
+    ``shards``/``partition`` fingerprint sharded execution: an N-shard
+    run simulates a different machine than the serial run of the same
+    config, so its results must never alias the serial cell.  The
+    partition hash (see :class:`repro.sim.PartitionPlan`) covers the
+    window/lookahead parameters as well as the split itself.
+    """
     blob = json.dumps(
         {
             "format": FORMAT_VERSION,
@@ -99,6 +108,8 @@ def cell_key(
             "scale": scale,
             "seed": seed,
             "verify": verify,
+            "shards": shards,
+            "partition": partition,
             "code": code_version(),
         },
         sort_keys=True,

@@ -38,18 +38,31 @@ _UNSET = object()
 
 @dataclass(frozen=True)
 class CellRequest:
-    """One simulation cell: everything needed to run it anywhere."""
+    """One simulation cell: everything needed to run it anywhere.
+
+    ``shards > 1`` runs the cell on the sharded engine (inline inside
+    its worker -- the cell pool is already the process-level
+    parallelism); the cache key then includes the shard count and the
+    partition-map hash so sharded results never alias serial ones.
+    """
 
     app: str
     config: SystemConfig
     scale: float
     seed: int
     verify: bool = True
+    shards: int = 1
 
     @property
     def key(self) -> str:
+        partition = ""
+        if self.shards > 1:
+            from ..sim.partition import plan_partition
+
+            partition = plan_partition(self.config, self.shards).plan_hash
         return cell_key(
-            self.app, self.config, self.scale, self.seed, self.verify
+            self.app, self.config, self.scale, self.seed, self.verify,
+            shards=self.shards, partition=partition,
         )
 
 
@@ -63,8 +76,20 @@ def _execute_cell(request: CellRequest) -> Dict[str, object]:
     from ..apps import make_app
     from ..runtime.runner import run_app
 
+    if request.shards > 1:
+        from ..runtime.shards import run_app_sharded
+
+        result = run_app_sharded(
+            request.app, request.config, scale=request.scale,
+            seed=request.seed, shards=request.shards,
+            verify=request.verify, parallel=False,
+        )
+        return metrics_to_payload(result.metrics)
     app = make_app(request.app, scale=request.scale, seed=request.seed)
-    result = run_app(app, request.config, verify=request.verify)
+    # shards is pinned from the request (never the NDPBRIDGE_SHARDS env
+    # knob): the cache key fingerprints request.shards, so an env-routed
+    # sharded run here would poison serial cache entries.
+    result = run_app(app, request.config, verify=request.verify, shards=1)
     return metrics_to_payload(result.metrics)
 
 

@@ -1,0 +1,196 @@
+"""Persistent per-shard worker processes for the sharded engine.
+
+:mod:`repro.exec.runner` fans independent *cells* over a throwaway
+``ProcessPoolExecutor`` -- fine when each job is one self-contained
+simulation.  Sharded runs are different: every shard holds a live
+simulator whose state must survive thousands of window barriers, so this
+module keeps one long-lived forked worker per shard and speaks a tiny
+command protocol over a pipe (``begin`` / ``window`` / ``control`` /
+``complete`` / ``finalize`` / ``exit``).  The same environment knobs as
+the cell pool apply (``NDPBRIDGE_JOBS`` gates whether parallel mode is
+worth entering at all; ``NDPBRIDGE_SANITIZE`` is inherited by the forked
+children, so sanitized sharded runs audit every shard).
+
+Commands are broadcast: the parent sends to *all* workers first, then
+collects replies in shard order -- windows genuinely overlap across
+cores, and reply order (hence result order) is deterministic regardless
+of which worker finishes first.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+from types import TracebackType
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Type
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+    from multiprocessing.process import BaseProcess
+
+    from ..sim.sharded import (
+        BoundaryMessage,
+        ControlDecision,
+        ShardReport,
+        ShardRuntime,
+    )
+
+__all__ = ["ForkTransport", "ShardWorkerError"]
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker raised; carries the remote traceback text."""
+
+
+def _worker_main(
+    conn: "Connection", build: "Callable[[], ShardRuntime]"
+) -> None:
+    """Worker loop: build the runtime, then serve barrier commands."""
+    runtime: "Optional[ShardRuntime]" = None
+    try:
+        runtime = build()
+    except BaseException:
+        conn.send(("err", traceback.format_exc()))
+        conn.close()
+        return
+    conn.send(("ok", None))
+    while True:
+        try:
+            command = conn.recv()
+        except EOFError:
+            break
+        op = command[0]
+        try:
+            if op == "begin":
+                conn.send(("ok", runtime.begin()))
+            elif op == "window":
+                conn.send(("ok", runtime.run_window(command[1], command[2])))
+            elif op == "control":
+                conn.send(("ok", runtime.apply_control(command[1])))
+            elif op == "complete":
+                conn.send(("ok", runtime.run_complete()))
+            elif op == "finalize":
+                conn.send(("ok", runtime.finalize()))
+            elif op == "exit":
+                break
+            else:  # pragma: no cover - protocol bug
+                conn.send(("err", f"unknown shard worker op {op!r}"))
+        except BaseException:
+            conn.send(("err", traceback.format_exc()))
+    conn.close()
+
+
+def _fork_context() -> "mp.context.BaseContext":
+    """Prefer fork (cheap, inherits the built model's modules and env)."""
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return mp.get_context()
+
+
+class ForkTransport:
+    """One persistent forked worker per shard builder.
+
+    Implements the same broadcast interface as the inline transport in
+    :mod:`repro.sim.sharded`, so the sharded engine can swap transports
+    without changing the barrier protocol.
+    """
+
+    def __init__(
+        self, builders: "Sequence[Callable[[], ShardRuntime]]"
+    ) -> None:
+        self._builders = list(builders)
+        self._procs: "List[BaseProcess]" = []
+        self._conns: "List[Connection]" = []
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "ForkTransport":
+        ctx = _fork_context()
+        try:
+            for build in self._builders:
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main, args=(child_conn, build), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+            # Each worker acks (or reports a build failure) exactly once.
+            for conn in self._conns:
+                self._recv(conn)
+        except BaseException:
+            self._shutdown()
+            raise
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self._shutdown()
+
+    def _shutdown(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("exit",))
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._procs = []
+        self._conns = []
+
+    # -- protocol ------------------------------------------------------
+    @staticmethod
+    def _recv(conn: "Connection") -> object:
+        try:
+            status, value = conn.recv()
+        except EOFError as exc:  # pragma: no cover - worker died
+            raise ShardWorkerError("shard worker exited unexpectedly") from exc
+        if status == "err":
+            raise ShardWorkerError(f"shard worker failed:\n{value}")
+        return value
+
+    def _broadcast(self, commands: Sequence[tuple]) -> List[object]:
+        """Send one command per worker, then collect replies in order."""
+        for conn, command in zip(self._conns, commands):
+            conn.send(command)
+        return [self._recv(conn) for conn in self._conns]
+
+    # -- transport interface (mirrors _InlineTransport) ----------------
+    def begin_all(self) -> "List[ShardReport]":
+        out = self._broadcast([("begin",)] * len(self._conns))
+        return out  # type: ignore[return-value]
+
+    def window_all(
+        self,
+        until: int,
+        inboxes: "Sequence[Sequence[BoundaryMessage]]",
+    ) -> "List[ShardReport]":
+        commands = [
+            ("window", until, list(inbox)) for inbox in inboxes
+        ]
+        out = self._broadcast(commands)
+        return out  # type: ignore[return-value]
+
+    def control_all(self, decision: "ControlDecision") -> "List[ShardReport]":
+        out = self._broadcast([("control", decision)] * len(self._conns))
+        return out  # type: ignore[return-value]
+
+    def run_complete_all(self) -> None:
+        self._broadcast([("complete",)] * len(self._conns))
+
+    def finalize_all(self) -> "List[Dict[str, object]]":
+        out = self._broadcast([("finalize",)] * len(self._conns))
+        return out  # type: ignore[return-value]

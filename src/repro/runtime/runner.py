@@ -10,7 +10,7 @@ paper-style metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from ..analysis.metrics import RunMetrics, collect_metrics
 from ..config import Design, SystemConfig
@@ -46,8 +46,30 @@ def run_app(
     app: "NDPApplication",
     config: SystemConfig,
     verify: bool = True,
+    shards: Optional[int] = None,
 ) -> RunResult:
-    """Execute ``app`` on a fresh system built from ``config``."""
+    """Execute ``app`` on a fresh system built from ``config``.
+
+    ``shards`` opts into the sharded engine (``docs/ARCHITECTURE.md``,
+    "Sharded engine"): ``None`` (the default) consults
+    ``NDPBRIDGE_SHARDS`` best-effort -- serial when the knob is unset or
+    the design/topology cannot shard -- while an explicit integer is
+    strict (``1`` forces the serial engine, ``> 1`` the sharded one,
+    raising on an unshardable topology).  A sharded run replicates
+    ``app`` per shard from its pre-attachment state, returns a
+    ``RunResult`` whose ``system`` is a
+    :class:`~repro.runtime.shards.ShardedRunInfo`, and defers
+    verification to the sharded engine's conservation checks.
+    """
+    if shards is None and config.design is not Design.H:
+        from .shards import resolve_shards
+
+        shards = resolve_shards(config)
+    if shards is not None and shards > 1:
+        return run_app_sharded(
+            app, config, seed=getattr(app, "seed", 1), shards=shards,
+            verify=verify,
+        )
     system = build_system(config)
     app.attach(system)
     app.seed_tasks(system)
@@ -59,3 +81,16 @@ def run_app(
         )
     metrics = collect_metrics(system, app.name)
     return RunResult(app=app, system=system, metrics=metrics)
+
+
+# The sharded twin lives in .shards (which imports this module lazily);
+# re-exported here so callers have one entry-point module.
+from .shards import run_app_sharded  # noqa: E402
+
+__all__ = [
+    "RunResult",
+    "VerificationError",
+    "build_system",
+    "run_app",
+    "run_app_sharded",
+]

@@ -1,0 +1,631 @@
+"""NDP binding of the sharded conservative-window engine.
+
+The partitioned model (see :mod:`repro.sim.partition`) treats each shard
+as a complete sub-machine: its own units, level-1 bridges, level-2
+domain, tracker and statistics, built from a sub-topology carved out of
+the global config.  Three adapters bind it to the generic engine of
+:mod:`repro.sim.sharded`:
+
+* :class:`ShardNDPSystem` -- an :class:`~repro.runtime.system.NDPSystem`
+  whose units carry *global* ids (via :class:`_UnitView` and
+  :class:`~repro.dram.address.ShardAddressMap`) and whose ``spawn`` /
+  ``seed_task`` divert work homed in another shard to a
+  :class:`ShardBoundary` port instead of the local fabric;
+* :class:`NDPShardRuntime` -- the per-shard driver: builds the system,
+  replicates the application deterministically (same name/scale/seed
+  per shard, so every shard computes the identical data layout), and
+  implements the window protocol;
+* :func:`run_app_sharded` -- the ``run_app`` twin: partitions, runs the
+  shards (inline or in forked workers), checks cross-shard conservation,
+  and merges per-shard payloads into one exact
+  :class:`~repro.analysis.metrics.RunMetrics`.
+
+Cross-shard traffic is exclusively *tasks*, intercepted at spawn time --
+before any fabric :class:`~repro.messages.types.Message` exists -- so the
+per-shard :class:`~repro.flow.auditor.MessageAuditor` accounting stays
+closed, and the engine's exported==injected merge closes the boundary
+ledger.  Exported tasks are re-materialized at the destination (fresh
+``task_id``; ids are only ever compared within one shard, where both
+executions allocate them in the same order), cross the host hop with the
+latency/poll-round model of the
+:class:`~repro.sim.partition.PartitionPlan`, and are counted as created
+in the destination shard's tracker at delivery.
+
+Bit-identity contract (asserted by ``tests/test_sharded.py``): a
+``shards=1`` run is exactly ``run_app`` (the runtime is a passthrough to
+``system.run()``), and an N-shard run is bit-identical between inline and
+forked-parallel execution.  An N-shard run is *not* claimed identical to
+the serial run -- it simulates a different machine (N host-bridged
+domains instead of one level-2 domain).
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from collections.abc import Sequence as SequenceABC
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, \
+    Tuple
+
+from ..analysis.metrics import RunMetrics
+from ..config import ConfigError, Design, SystemConfig, validate_shardable
+from ..dram.address import AddressMap, ShardAddressMap
+from ..energy import account_energy
+from ..ndp.unit import NDPUnit
+from ..sim import SimulationError, StatsRegistry
+from ..sim.partition import PartitionPlan, plan_partition, shards_from_env
+from ..sim.sharded import (
+    BoundaryMessage,
+    ControlDecision,
+    ShardedSimulator,
+    ShardReport,
+    ShardRuntime,
+)
+from .partition import PartitionMap
+from .system import NDPSystem
+from .task import Task
+from .tracker import RunTracker, ShardTracker
+
+if TYPE_CHECKING:  # avoid a circular import; apps build on the runtime
+    from ..apps.base import NDPApplication
+
+__all__ = [
+    "NDPShardBuilder",
+    "NDPShardRuntime",
+    "ShardNDPSystem",
+    "ShardedRunInfo",
+    "merge_shard_payloads",
+    "resolve_shards",
+    "run_app_sharded",
+]
+
+
+class _UnitView(SequenceABC):
+    """One shard's units, indexed by *global* unit id.
+
+    Every ``system.units[...]`` access in the model uses global ids
+    (units forward to homes, bridges scatter to owners), so the view
+    rebases lookups onto the local list.  Indexing a unit outside the
+    shard is always a partitioning bug and raises ``IndexError`` loudly.
+    Iteration and ``len`` cover the local units only (metrics, auditing).
+    """
+
+    def __init__(self, units: List[NDPUnit], base_unit: int) -> None:
+        self._units = units
+        self.base_unit = base_unit
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    def __iter__(self):
+        return iter(self._units)
+
+    def __getitem__(self, unit_id: int) -> NDPUnit:
+        local = unit_id - self.base_unit
+        if not 0 <= local < len(self._units):
+            raise IndexError(
+                f"unit {unit_id} is outside this shard "
+                f"[{self.base_unit}, {self.base_unit + len(self._units)})"
+            )
+        return self._units[local]
+
+
+class ShardBoundary:
+    """The shard's boundary port: cross-shard task exports and imports.
+
+    Exports accumulate between barriers (:meth:`drain` hands them to the
+    engine); both directions are counted per peer shard so the merge can
+    prove conservation against the engine's own ledger.
+    """
+
+    def __init__(self, plan: PartitionPlan, shard_id: int) -> None:
+        self.plan = plan
+        self.shard_id = shard_id
+        self._seq = 0
+        self._outbox: List[BoundaryMessage] = []
+        self.exported_by_dst: Dict[int, int] = {}
+        self.imported_by_src: Dict[int, int] = {}
+        #: Channel bytes the exports consumed (framed, up + down hop),
+        #: charged to link energy at the merge.
+        self.link_bytes = 0
+        self.seeds_skipped = 0
+
+    def export(self, now: int, task: Task, dst_shard: int) -> None:
+        payload = (
+            task.func, task.ts, task.data_addr, task.workload,
+            tuple(task.args), task.actual_cycles, task.read_only,
+            task.data_bytes,
+        )
+        nbytes = task.size_bytes
+        mb = self.plan.message_bytes
+        framed = max(mb, ((nbytes + mb - 1) // mb) * mb)
+        self._outbox.append(BoundaryMessage(
+            src_shard=self.shard_id,
+            dst_shard=dst_shard,
+            send_time=now,
+            deliver_time=self.plan.deliver_time(now, nbytes),
+            seq=self._seq,
+            kind="task",
+            payload=payload,
+        ))
+        self._seq += 1
+        self.exported_by_dst[dst_shard] = (
+            self.exported_by_dst.get(dst_shard, 0) + 1
+        )
+        self.link_bytes += 2 * framed
+
+    def note_import(self, src_shard: int) -> None:
+        self.imported_by_src[src_shard] = (
+            self.imported_by_src.get(src_shard, 0) + 1
+        )
+
+    def drain(self) -> Tuple[BoundaryMessage, ...]:
+        out = tuple(self._outbox)
+        self._outbox.clear()
+        return out
+
+
+def task_from_payload(payload: Tuple[object, ...]) -> Task:
+    """Re-materialize an exported task (fresh local ``task_id``)."""
+    func, ts, data_addr, workload, args, actual_cycles, read_only, \
+        data_bytes = payload
+    return Task(
+        func=func, ts=ts, data_addr=data_addr, workload=workload,
+        args=tuple(args), actual_cycles=actual_cycles,
+        read_only=read_only, data_bytes=data_bytes,
+    )
+
+
+class ShardNDPSystem(NDPSystem):
+    """One shard's sub-machine with global unit ids and a boundary port."""
+
+    def __init__(
+        self,
+        sub_config: SystemConfig,
+        global_config: SystemConfig,
+        plan: PartitionPlan,
+        shard_id: int,
+    ) -> None:
+        # Construction hooks below run inside super().__init__, so the
+        # shard geometry must be in place first.
+        self.global_config = global_config
+        self.plan = plan
+        self.shard_id = shard_id
+        self.base_unit = plan.base_unit(shard_id)
+        self.boundary = ShardBoundary(plan, shard_id)
+        super().__init__(sub_config)
+
+    # -- construction hooks ---------------------------------------------
+    def _build_addr_map(self, config: SystemConfig) -> AddressMap:
+        return ShardAddressMap(config, self.global_config, self.base_unit)
+
+    def _build_partition(self) -> PartitionMap:
+        # Applications replicate identically on every shard, so data
+        # placement must be computed over the *global* machine.
+        return PartitionMap(AddressMap(self.global_config))
+
+    def _build_tracker(self) -> RunTracker:
+        # A single shard is the whole machine: the ordinary self-driving
+        # barrier applies (and makes shards=1 exactly the serial run).
+        if self.plan.shards == 1:
+            return RunTracker()
+        return ShardTracker()
+
+    def _unit_ids(self, config: SystemConfig) -> Iterable[int]:
+        lo, hi = self.plan.unit_range(self.shard_id)
+        return range(lo, hi)
+
+    def _wrap_units(self, units: List[NDPUnit]) -> Sequence[NDPUnit]:
+        return _UnitView(units, self.base_unit)
+
+    # -- boundary interception -------------------------------------------
+    def spawn(self, src_unit: int, task: Task) -> None:
+        home = self.addr_map.unit_of_addr(task.data_addr)
+        dst_shard = self.plan.shard_of_unit(home)
+        if dst_shard != self.shard_id:
+            # Counted as created in the destination's tracker at delivery;
+            # the engine's exported==injected ledger covers the transit.
+            self.boundary.export(self.sim.now, task, dst_shard)
+            return
+        self.tracker.task_created(task.ts)
+        self.units[src_unit].accept_task(task)
+
+    def seed_task(self, task: Task) -> None:
+        home = self.addr_map.unit_of_addr(task.data_addr)
+        if self.plan.shard_of_unit(home) != self.shard_id:
+            # The home shard's replica seeds it; only counted for audit.
+            self.boundary.seeds_skipped += 1
+            return
+        self.tracker.task_created(task.ts)
+        self.units[home].accept_task(task)
+
+    def schedule_import(self, msg: BoundaryMessage) -> None:
+        """Schedule an inbound boundary task's arrival at its home unit."""
+        def _arrive() -> None:
+            task = task_from_payload(msg.payload)
+            self.boundary.note_import(msg.src_shard)
+            self.tracker.task_created(task.ts)
+            home = self.addr_map.unit_of_addr(task.data_addr)
+            self.units[home].accept_task(task)
+
+        self.sim.schedule_at(msg.deliver_time, _arrive)
+
+
+@dataclass(frozen=True)
+class NDPShardBuilder:
+    """Picklable factory for one shard's runtime (crosses fork/pipe).
+
+    ``app`` is either an application name (each shard rebuilds it via
+    ``make_app(app, scale, seed)``) or an *unattached*
+    :class:`~repro.apps.base.NDPApplication` prototype, deep-copied per
+    shard so every replica starts from exactly the same state.
+    """
+
+    app: "str | NDPApplication"
+    scale: float
+    seed: int
+    config: SystemConfig
+    plan: PartitionPlan
+    shard_id: int
+    verify: bool = True
+
+    def __call__(self) -> "NDPShardRuntime":
+        return NDPShardRuntime(self)
+
+
+def _sub_config(config: SystemConfig, plan: PartitionPlan) -> SystemConfig:
+    """The per-shard sub-topology carved from the global config."""
+    topo = config.topology
+    sub_topo = replace(
+        topo,
+        channels=plan.sub_channels,
+        ranks_per_channel=plan.sub_ranks_per_channel,
+        dimms_per_channel=math.gcd(
+            topo.dimms_per_channel, plan.sub_ranks_per_channel
+        ),
+    )
+    return config.replace(topology=sub_topo)
+
+
+class NDPShardRuntime(ShardRuntime):
+    """Window-protocol driver for one shard of an NDP machine."""
+
+    def __init__(self, builder: NDPShardBuilder) -> None:
+        self.shard_id = builder.shard_id
+        self.system = ShardNDPSystem(
+            _sub_config(builder.config, builder.plan),
+            builder.config, builder.plan, builder.shard_id,
+        )
+        if isinstance(builder.app, str):
+            from ..apps import make_app
+
+            self.app = make_app(
+                builder.app, scale=builder.scale, seed=builder.seed
+            )
+        else:
+            self.app = copy.deepcopy(builder.app)
+        self.app.attach(self.system)
+        self.app.seed_tasks(self.system)
+        self.do_verify = builder.verify
+        self._completed = False
+        self._verified: Optional[bool] = None
+
+    # -- protocol --------------------------------------------------------
+    def begin(self) -> ShardReport:
+        if self.system.plan.shards > 1:
+            # shards=1 runs through run_complete -> system.run(), which
+            # starts the fabric itself.
+            self.system.fabric.start()
+        return self._report()
+
+    def run_window(
+        self, until: int, inbox: Sequence[BoundaryMessage]
+    ) -> ShardReport:
+        for msg in inbox:
+            self.system.schedule_import(msg)
+        self.system.sim.run(until=until)
+        return self._report()
+
+    def apply_control(self, decision: ControlDecision) -> ShardReport:
+        tracker = self.system.tracker
+        if not isinstance(tracker, ShardTracker):
+            raise SimulationError(
+                "control decisions require a ShardTracker (shards > 1)"
+            )
+        if decision.kind == "advance":
+            tracker.force_advance()
+        elif decision.kind == "finish":
+            tracker.force_finish()
+        else:
+            raise SimulationError(
+                f"unknown control decision {decision.kind!r}"
+            )
+        return self._report()
+
+    def run_complete(self) -> None:
+        self.system.run()
+        self._completed = True
+        if self.do_verify:
+            self._verified = self.app.verify()
+            if not self._verified:
+                from .runner import VerificationError
+
+                raise VerificationError(
+                    f"{self.app.name} on design "
+                    f"{self.system.config.design.value} (sharded, 1 shard): "
+                    "distributed result does not match the reference"
+                )
+
+    def finalize(self) -> Dict[str, object]:
+        system = self.system
+        if system.auditor is not None and not self._completed:
+            # The windowed path never goes through system.run(); close the
+            # per-shard message-lifecycle audit here instead.
+            system.auditor.finish(system)
+        units = list(system.units)
+        finish = [u.finish_time for u in units]
+        busy = [u.busy_cycles for u in units]
+        makespan = max(finish) if finish else 0
+        if makespan > 0:
+            critical = max(range(len(units)), key=lambda i: finish[i])
+            busy_critical = busy[critical]
+        else:
+            busy_critical = 0
+        stats = system.stats
+        boundary = system.boundary
+        return {
+            "shard": self.shard_id,
+            "n_units": len(units),
+            "makespan": makespan,
+            "busy_total": sum(busy),
+            "busy_critical": busy_critical,
+            "tasks_executed": system.total_tasks_executed,
+            "task_messages": stats.sum_counters(".tasks_forwarded"),
+            "data_messages": (
+                stats.sum_counters(".blocks_lent")
+                + stats.sum_counters(".blocks_returned")
+            ),
+            "sram_accesses": stats.sum_counters(".sram_accesses"),
+            "local_words_64bit": stats.sum_counters(".local_words_64bit"),
+            "comm_words_64bit": stats.sum_counters(".comm_words_64bit"),
+            "link_bytes": stats.sum_counters(".bytes"),
+            "boundary_link_bytes": boundary.link_bytes,
+            "events_processed": system.sim.events_processed,
+            "tasks_created": system.tracker.total_created,
+            "tasks_completed": system.tracker.total_completed,
+            "epoch": system.tracker.epoch,
+            "exported": {
+                str(k): v
+                for k, v in sorted(boundary.exported_by_dst.items())
+            },
+            "imported": {
+                str(k): v
+                for k, v in sorted(boundary.imported_by_src.items())
+            },
+            "seeds_skipped": boundary.seeds_skipped,
+            "verified": self._verified,
+        }
+
+    # -- internals -------------------------------------------------------
+    def _report(self) -> ShardReport:
+        sim = self.system.sim
+        tracker = self.system.tracker
+        return ShardReport(
+            shard_id=self.shard_id,
+            now=sim.now,
+            next_event_time=sim.peek_time(),
+            events_processed=sim.events_processed,
+            quiescent=tracker.epoch_quiescent,
+            future_work=tracker.has_future_work,
+            finished=tracker.finished,
+            outbox=self.system.boundary.drain(),
+        )
+
+
+class MergedStats(StatsRegistry):
+    """A registry facade over summed per-shard counter totals.
+
+    :func:`~repro.energy.account_energy` only reads ``sum_counters``;
+    integer sums are associative, so feeding it the cross-shard totals
+    reproduces the serial arithmetic bit-for-bit.
+    """
+
+    def __init__(self, sums: Dict[str, int]) -> None:
+        super().__init__()
+        self._suffix_sums = dict(sums)
+
+    def sum_counters(self, suffix: str) -> int:
+        return self._suffix_sums.get(suffix, 0)
+
+
+@dataclass
+class ShardedRunInfo:
+    """Run record standing in for the ``system`` of a sharded RunResult."""
+
+    config: SystemConfig
+    plan: PartitionPlan
+    payloads: List[Dict[str, object]]
+    windows: int
+    barriers: int
+    boundary_messages: int
+    exported: Dict[Tuple[int, int], int]
+    injected: Dict[Tuple[int, int], int]
+
+    @property
+    def events_processed(self) -> int:
+        return sum(int(p["events_processed"]) for p in self.payloads)  # type: ignore[call-overload]
+
+
+def merge_shard_payloads(
+    config: SystemConfig,
+    app_name: str,
+    payloads: Sequence[Dict[str, object]],
+    shards: int,
+    windows: int,
+    boundary_tasks: int,
+) -> RunMetrics:
+    """Merge per-shard payloads into the exact global :class:`RunMetrics`.
+
+    Every metric is derived from integer sums plus the global makespan,
+    so the merge is exact: with one shard it reproduces
+    :func:`~repro.analysis.metrics.collect_metrics` bit-for-bit.  The
+    critical (wait-time) unit is the serial tie-break -- the first unit
+    with the maximum finish time, i.e. the lowest shard id holding the
+    global makespan.
+    """
+    def total(key: str) -> int:
+        return sum(int(p[key]) for p in payloads)  # type: ignore[call-overload]
+
+    n_units = total("n_units")
+    busy_total = total("busy_total")
+    makespan = max((int(p["makespan"]) for p in payloads), default=0)  # type: ignore[call-overload]
+    avg_time = busy_total / n_units if n_units else 0.0
+    if makespan > 0:
+        busy_critical = next(
+            int(p["busy_critical"]) for p in payloads  # type: ignore[call-overload]
+            if int(p["makespan"]) == makespan  # type: ignore[call-overload]
+        )
+        wait_fraction = max(0.0, 1.0 - busy_critical / makespan)
+    else:
+        wait_fraction = 0.0
+
+    sums = {
+        ".sram_accesses": total("sram_accesses"),
+        ".local_words_64bit": total("local_words_64bit"),
+        ".comm_words_64bit": total("comm_words_64bit"),
+        ".bytes": total("link_bytes") + total("boundary_link_bytes"),
+    }
+    energy = account_energy(config, MergedStats(sums), makespan, busy_total)
+
+    return RunMetrics(
+        design=config.design.value,
+        app=app_name,
+        makespan=makespan,
+        avg_unit_time=avg_time,
+        max_unit_time=makespan,
+        wait_fraction=wait_fraction,
+        total_busy_cycles=busy_total,
+        tasks_executed=total("tasks_executed"),
+        task_messages=total("task_messages"),
+        data_messages=total("data_messages"),
+        energy=energy,
+        extra={
+            "shards": shards,
+            "windows": windows,
+            "boundary_tasks": boundary_tasks,
+        },
+    )
+
+
+def resolve_shards(config: SystemConfig, shards: Optional[int] = None) -> int:
+    """Decide the shard count for one run.
+
+    An explicit ``shards`` argument is strict (an unshardable topology
+    raises).  ``None`` consults ``NDPBRIDGE_SHARDS``: ``auto`` means one
+    shard per level-1 subtree, and a numeric value is best-effort -- the
+    environment knob applies to whole suites spanning many topologies,
+    so infeasible requests fall back to the largest feasible split (down
+    to 1) instead of erroring.
+    """
+    if shards is not None:
+        return shards
+    requested = shards_from_env(default=1)
+    if requested is None:  # auto
+        requested = config.topology.ranks
+    if requested <= 1:
+        return 1
+    for candidate in range(min(requested, config.topology.ranks), 1, -1):
+        try:
+            validate_shardable(config, candidate)
+            return candidate
+        except ConfigError:
+            continue
+    return 1
+
+
+def run_app_sharded(
+    app: "str | NDPApplication",
+    config: SystemConfig,
+    *,
+    scale: float = 1.0,
+    seed: int = 1,
+    shards: Optional[int] = None,
+    verify: bool = True,
+    parallel: Optional[bool] = None,
+):
+    """Sharded twin of :func:`repro.runtime.runner.run_app`.
+
+    Splits the machine into shards (see :func:`resolve_shards`), runs
+    them under the conservative-window engine, and returns a
+    ``RunResult`` whose ``system`` is a :class:`ShardedRunInfo`.
+
+    ``app`` is an application name (``scale``/``seed`` size each shard's
+    replica) or an unattached application instance used as the prototype
+    every shard deep-copies (``scale`` is then ignored).
+
+    Result verification runs in-shard only for ``shards=1`` (with more
+    shards every replica holds just its partition of the final state);
+    multi-shard correctness is covered by the bit-identity and
+    conservation checks instead.
+    """
+    from .runner import RunResult
+
+    if config.design is Design.H:
+        raise ConfigError(
+            "design H runs on the host model; sharded execution requires "
+            "an NDP design"
+        )
+    plan = plan_partition(config, resolve_shards(config, shards))
+    builders = [
+        NDPShardBuilder(
+            app=app, scale=scale, seed=seed, config=config, plan=plan,
+            shard_id=shard_id, verify=verify,
+        )
+        for shard_id in range(plan.shards)
+    ]
+    engine = ShardedSimulator(builders, plan, parallel=parallel)
+    result = engine.run()
+    payloads = sorted(result.payloads, key=lambda p: int(p["shard"]))  # type: ignore[call-overload]
+
+    # Cross-shard conservation merge: the shards' own ledgers must agree
+    # with the engine's (exports picked up == imports delivered, per peer).
+    for payload in payloads:
+        src = int(payload["shard"])  # type: ignore[call-overload]
+        for dst_str, count in payload["exported"].items():  # type: ignore[union-attr]
+            if result.exported.get((src, int(dst_str)), 0) != count:
+                raise SimulationError(
+                    f"sharded: shard {src} recorded {count} exports to "
+                    f"{dst_str} but the engine saw "
+                    f"{result.exported.get((src, int(dst_str)), 0)}"
+                )
+        for src_str, count in payload["imported"].items():  # type: ignore[union-attr]
+            injected = result.injected.get((int(src_str), src), 0)
+            if injected != count:
+                raise SimulationError(
+                    f"sharded: shard {src} recorded {count} imports from "
+                    f"{src_str} but the engine injected {injected}"
+                )
+
+    metrics = merge_shard_payloads(
+        config, app if isinstance(app, str) else app.name, payloads,
+        shards=plan.shards, windows=result.windows,
+        boundary_tasks=result.boundary_messages,
+    )
+    if isinstance(app, str):
+        from ..apps import make_app
+
+        result_app = make_app(app, scale=scale, seed=seed)
+    else:
+        result_app = app
+    info = ShardedRunInfo(
+        config=config, plan=plan, payloads=list(payloads),
+        windows=result.windows, barriers=result.barriers,
+        boundary_messages=result.boundary_messages,
+        exported=result.exported, injected=result.injected,
+    )
+    return RunResult(
+        app=result_app,
+        system=info,
+        metrics=metrics,
+    )

@@ -5,6 +5,17 @@ from .component import Component
 from .rng import DeterministicRNG
 from .tracing import NULL_TRACER, TraceRecord, Tracer, TracerError
 from .stats import Accumulator, Counter, Histogram, StatsRegistry
+from .partition import PartitionPlan, plan_partition, shards_from_env
+from .sharded import (
+    BoundaryMessage,
+    ControlDecision,
+    FixedLookaheadPlan,
+    ShardedResult,
+    ShardedSimulator,
+    ShardReport,
+    ShardRuntime,
+    default_policy,
+)
 
 __all__ = [
     "Event",
@@ -21,4 +32,15 @@ __all__ = [
     "TraceRecord",
     "Tracer",
     "TracerError",
+    "PartitionPlan",
+    "plan_partition",
+    "shards_from_env",
+    "BoundaryMessage",
+    "ControlDecision",
+    "FixedLookaheadPlan",
+    "ShardedResult",
+    "ShardedSimulator",
+    "ShardReport",
+    "ShardRuntime",
+    "default_policy",
 ]

@@ -1,0 +1,181 @@
+"""Fabric partitioning for the sharded engine.
+
+A *shard* is a complete sub-topology of the machine: a contiguous run of
+level-1 (rank) bridge subtrees forming whole channels, or whole rank
+groups within one channel.  Each shard then hosts a full bridge hierarchy
+of its own -- level-1 bridges plus a local level-2 domain -- and the only
+cross-shard traffic is task spawns whose target data lives in another
+shard's banks.  Those cross the host hop: up the source shard's memory
+channel, through the host forwarding software, and down the destination
+channel.
+
+That hop is what makes conservative windows work (see
+:mod:`repro.sim.sharded`): its latency has a hard lower bound derived
+from the channel link model (:func:`repro.links.link.min_message_latency`
+applied twice, plus the per-message host software overhead), and the
+host only picks exports up at its polling rounds (every
+``host_poll_interval_cycles``), so deliveries cluster at poll boundaries
+and windows legally stretch to the next poll round -- typically ~2000
+cycles rather than the bare link latency.
+
+:func:`plan_partition` validates shardability
+(:func:`repro.config.validate_shardable` raises ``ConfigError`` for
+topologies that do not split) and freezes everything the engine, the
+boundary ports, and the result cache need into a picklable
+:class:`PartitionPlan`, including a content hash so sharded and serial
+results never alias in the on-disk cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:
+    from ..config import SystemConfig
+
+__all__ = ["PartitionPlan", "plan_partition", "shards_from_env"]
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Everything the sharded engine needs to know about one partition.
+
+    Implements the window-plan protocol (``shards`` + :meth:`horizon`)
+    and doubles as the boundary ports' latency model
+    (:meth:`deliver_time`).  Frozen and picklable: the plan crosses the
+    process boundary with every shard builder.
+    """
+
+    shards: int
+    total_units: int
+    units_per_shard: int
+    sub_channels: int
+    sub_ranks_per_channel: int
+    #: Host forwarding rounds: exports are picked up at the next multiple
+    #: of this period (``host_poll_interval_cycles``; 0 disables rounds).
+    batch_period: int
+    #: Host software cost per forwarded message.
+    hop_overhead_cycles: int
+    #: Bandwidth of the memory channel the hop crosses (twice: up + down).
+    channel_bytes_per_cycle: float
+    #: Wire framing granularity; also sizes the minimum hop.
+    message_bytes: int
+    #: Minimum cross-shard latency: the conservative lookahead bound.
+    lookahead: int
+    plan_hash: str
+
+    # -- unit geometry -------------------------------------------------
+    def shard_of_unit(self, unit_id: int) -> int:
+        if not 0 <= unit_id < self.total_units:
+            raise ValueError(f"unit id {unit_id} out of range")
+        return unit_id // self.units_per_shard
+
+    def base_unit(self, shard_id: int) -> int:
+        return shard_id * self.units_per_shard
+
+    def unit_range(self, shard_id: int) -> Tuple[int, int]:
+        base = self.base_unit(shard_id)
+        return (base, base + self.units_per_shard)
+
+    # -- boundary timing ----------------------------------------------
+    def hop_cycles(self, nbytes: int) -> int:
+        """Host-hop cost for one ``nbytes`` boundary message."""
+        from ..links.link import transfer_cycles_for
+
+        framed = max(
+            self.message_bytes,
+            ((nbytes + self.message_bytes - 1) // self.message_bytes)
+            * self.message_bytes,
+        )
+        one_way = transfer_cycles_for(self.channel_bytes_per_cycle, framed)
+        return one_way * 2 + self.hop_overhead_cycles
+
+    def _next_round(self, t: int) -> int:
+        if self.batch_period <= 0:
+            return t
+        return ((t // self.batch_period) + 1) * self.batch_period
+
+    def deliver_time(self, send_time: int, nbytes: int) -> int:
+        """When a boundary message sent at ``send_time`` lands."""
+        return self._next_round(send_time) + self.hop_cycles(nbytes)
+
+    def horizon(self, t: int) -> int:
+        """Earliest possible delivery of any message sent at time >= t.
+
+        ``deliver_time`` is monotone in ``send_time`` and in ``nbytes``,
+        so the bound is the next poll round after ``t`` plus the minimum
+        hop -- which is exactly ``deliver_time(t, message_bytes)``.
+        """
+        return self._next_round(t) + self.lookahead
+
+
+def shards_from_env(default: int = 1) -> Optional[int]:
+    """The ``NDPBRIDGE_SHARDS`` knob: an int, ``auto``, or unset.
+
+    Returns ``None`` for ``auto`` (one shard per level-1 subtree, decided
+    against a concrete config by :func:`plan_partition`), the integer
+    value when set, else ``default``.
+    """
+    raw = os.environ.get("NDPBRIDGE_SHARDS", "").strip().lower()
+    if not raw:
+        return default
+    if raw == "auto":
+        return None
+    return max(1, int(raw))
+
+
+def plan_partition(config: "SystemConfig", shards: Optional[int] = None) -> PartitionPlan:
+    """Partition ``config``'s fabric into ``shards`` subtree shards.
+
+    ``shards=None`` defaults to one shard per level-1 (rank) bridge
+    subtree.  Raises :class:`repro.config.ConfigError` when the topology
+    cannot be split into that many complete subtrees.
+    """
+    from ..config import validate_shardable
+    from ..links.link import min_message_latency
+
+    topo = config.topology
+    if shards is None:
+        shards = topo.ranks
+    sub_channels, sub_ranks_per_channel = validate_shardable(config, shards)
+
+    comm = config.comm
+    one_way = min_message_latency(
+        config.channel_bytes_per_cycle, comm.message_bytes
+    )
+    lookahead = one_way * 2 + comm.host_per_message_overhead_cycles
+    batch_period = comm.host_poll_interval_cycles if shards > 1 else 0
+
+    blob = json.dumps(
+        {
+            "shards": shards,
+            "total_units": topo.total_units,
+            "sub_channels": sub_channels,
+            "sub_ranks_per_channel": sub_ranks_per_channel,
+            "batch_period": batch_period,
+            "hop_overhead": comm.host_per_message_overhead_cycles,
+            "channel_bpc": config.channel_bytes_per_cycle,
+            "message_bytes": comm.message_bytes,
+            "lookahead": lookahead,
+        },
+        sort_keys=True,
+    )
+    plan_hash = hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    return PartitionPlan(
+        shards=shards,
+        total_units=topo.total_units,
+        units_per_shard=topo.total_units // shards,
+        sub_channels=sub_channels,
+        sub_ranks_per_channel=sub_ranks_per_channel,
+        batch_period=batch_period,
+        hop_overhead_cycles=comm.host_per_message_overhead_cycles,
+        channel_bytes_per_cycle=config.channel_bytes_per_cycle,
+        message_bytes=comm.message_bytes,
+        lookahead=lookahead,
+        plan_hash=plan_hash,
+    )

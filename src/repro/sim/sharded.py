@@ -1,0 +1,464 @@
+"""Conservative-window sharded simulation (the parallel engine core).
+
+:class:`ShardedSimulator` coordinates N shard runtimes -- each wrapping an
+independent :class:`~repro.sim.engine.Simulator` -- with the classic
+conservative-lookahead protocol of parallel discrete-event simulation:
+
+1. At a barrier, every shard reports its next event time and its pending
+   cross-shard messages (the *outbox*).
+2. The engine picks the window floor ``W`` = the earliest next event or
+   pending delivery anywhere, and closes the window at
+   ``W_end = plan.horizon(W)``: the earliest instant any message *sent at
+   or after* ``W`` could possibly be delivered.  Because every
+   cross-shard message needs at least the lookahead (the minimum
+   cross-shard link latency) to arrive, no shard can receive anything
+   inside ``[W, W_end)`` that is not already known at the barrier.
+3. Messages whose delivery time falls inside the window are handed to
+   their destination shard, then all shards run ``[W, W_end)``
+   concurrently and the barrier repeats.
+
+Shards therefore only synchronize at window barriers, and windows jump
+across idle gaps (the floor is the global next-event time, not ``now``),
+so a mostly-idle fabric pays almost no barrier overhead.
+
+The engine is deliberately model-agnostic: it knows nothing about NDP
+units or bridges, only about :class:`ShardRuntime` (the per-shard driver
+protocol) and :class:`WindowPlan` (the lookahead rule).  The NDP binding
+lives in :mod:`repro.runtime.shards`; toy runtimes in the test suite
+drive the same engine directly.
+
+Conservativeness is *checked*, not assumed: every outbox message must
+satisfy ``deliver_time >= plan.horizon(send_time)`` and
+``deliver_time >= W_end`` of the window that produced it.  A model whose
+boundary latency undercuts its declared lookahead raises
+:class:`~repro.sim.engine.SimulationError` at the barrier instead of
+silently desynchronizing -- the negative tests rely on this.
+
+Global decisions (epoch barriers, termination) are consensus decisions: a
+*policy* inspects all shard reports plus the in-flight boundary count and
+may order an epoch advance or the finish.  Decisions happen only at
+barriers, which keeps them deterministic: the inline (single-process) and
+parallel (forked worker) executions of the same shard set are
+bit-identical, and the tests assert it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .engine import SimulationError
+
+__all__ = [
+    "BoundaryMessage",
+    "ControlDecision",
+    "FixedLookaheadPlan",
+    "ShardReport",
+    "ShardRuntime",
+    "ShardedResult",
+    "ShardedSimulator",
+    "default_policy",
+]
+
+
+@dataclass(frozen=True)
+class BoundaryMessage:
+    """One serialized cross-shard message.
+
+    ``payload`` must be picklable plain data (the parallel transport ships
+    it over a pipe).  ``seq`` is the per-source-shard export sequence
+    number; ``(src_shard, seq)`` is unique, which gives barrier delivery a
+    deterministic total order.
+    """
+
+    src_shard: int
+    dst_shard: int
+    send_time: int
+    deliver_time: int
+    seq: int
+    kind: str
+    payload: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """A shard's state snapshot at a window barrier."""
+
+    shard_id: int
+    now: int
+    next_event_time: Optional[int]
+    events_processed: int
+    #: No outstanding work in the current epoch (model-defined).
+    quiescent: bool
+    #: Work exists for a later epoch (model-defined; False if epochs are
+    #: not part of the model).
+    future_work: bool
+    #: The runtime has been told to finish.
+    finished: bool
+    outbox: Tuple[BoundaryMessage, ...] = ()
+
+
+@dataclass(frozen=True)
+class ControlDecision:
+    """A consensus decision broadcast to every shard at a barrier."""
+
+    kind: str  # "advance" (epoch barrier) or "finish"
+
+
+@dataclass(frozen=True)
+class FixedLookaheadPlan:
+    """The simplest window plan: a constant minimum message latency.
+
+    With ``batch_period > 0`` deliveries additionally snap to the next
+    multiple of the period (modelling a polling host that forwards
+    boundary traffic in rounds), which legally *stretches* windows: no
+    delivery can occur between rounds, so the horizon jumps to the next
+    round boundary plus the hop latency.
+    """
+
+    shards: int
+    lookahead: int
+    batch_period: int = 0
+
+    def horizon(self, t: int) -> int:
+        """Earliest possible delivery of any message sent at time >= t."""
+        if self.batch_period > 0:
+            return ((t // self.batch_period) + 1) * self.batch_period + self.lookahead
+        return t + self.lookahead
+
+
+class ShardRuntime(ABC):
+    """Driver protocol one shard implements.
+
+    The engine calls, in order: :meth:`begin` once, then any mix of
+    :meth:`run_window` and :meth:`apply_control`, then :meth:`finalize`
+    once.  With a single shard the engine instead calls :meth:`begin`,
+    :meth:`run_complete`, :meth:`finalize` -- the passthrough that makes
+    ``shards=1`` exactly the serial engine.
+    """
+
+    shard_id: int = 0
+
+    @abstractmethod
+    def begin(self) -> ShardReport:
+        """Start the model (schedule initial events); no events run yet."""
+
+    @abstractmethod
+    def run_window(
+        self, until: int, inbox: Sequence[BoundaryMessage]
+    ) -> ShardReport:
+        """Inject ``inbox``, run all events with ``time <= until``."""
+
+    @abstractmethod
+    def apply_control(self, decision: ControlDecision) -> ShardReport:
+        """Apply a barrier consensus decision (epoch advance / finish)."""
+
+    def run_complete(self) -> None:
+        """Run to completion serially (single-shard passthrough)."""
+        raise SimulationError(
+            f"{type(self).__name__} does not support single-shard passthrough"
+        )
+
+    @abstractmethod
+    def finalize(self) -> Dict[str, object]:
+        """Close out the shard and return its JSON-safe result payload."""
+
+
+#: A policy inspects the barrier reports plus the count of boundary
+#: messages still in flight and may order a consensus decision.
+Policy = Callable[[Sequence[ShardReport], int], Optional[ControlDecision]]
+
+
+def default_policy(
+    reports: Sequence[ShardReport], pending: int
+) -> Optional[ControlDecision]:
+    """Bulk-synchronous consensus: advance or finish when globally idle.
+
+    Only when *every* shard is quiescent and *no* boundary message is in
+    flight is the global state stable: nothing can create work for the
+    current epoch any more.  Then, if any shard holds future-epoch work
+    the epoch barrier advances; otherwise the run is finished.  In-flight
+    boundary messages veto both (a message can carry current-epoch work,
+    so deciding before it lands would be premature).
+    """
+    if pending:
+        return None
+    if all(r.quiescent for r in reports):
+        if any(r.future_work for r in reports):
+            return ControlDecision("advance")
+        return ControlDecision("finish")
+    return None
+
+
+@dataclass
+class ShardedResult:
+    """What a finished sharded run hands back to the caller."""
+
+    payloads: List[Dict[str, object]]
+    reports: List[ShardReport]
+    windows: int
+    barriers: int
+    boundary_messages: int
+    exported: Dict[Tuple[int, int], int]
+    injected: Dict[Tuple[int, int], int]
+
+
+class _InlineTransport:
+    """All shard runtimes in this process, stepped round-robin."""
+
+    def __init__(self, builders: Sequence[Callable[[], ShardRuntime]]) -> None:
+        self._builders = list(builders)
+        self._runtimes: List[ShardRuntime] = []
+
+    def __enter__(self) -> "_InlineTransport":
+        self._runtimes = [build() for build in self._builders]
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._runtimes = []
+
+    def begin_all(self) -> List[ShardReport]:
+        return [rt.begin() for rt in self._runtimes]
+
+    def window_all(
+        self, until: int, inboxes: Sequence[Sequence[BoundaryMessage]]
+    ) -> List[ShardReport]:
+        return [
+            rt.run_window(until, inbox)
+            for rt, inbox in zip(self._runtimes, inboxes)
+        ]
+
+    def control_all(self, decision: ControlDecision) -> List[ShardReport]:
+        return [rt.apply_control(decision) for rt in self._runtimes]
+
+    def run_complete_all(self) -> None:
+        for rt in self._runtimes:
+            rt.run_complete()
+
+    def finalize_all(self) -> List[Dict[str, object]]:
+        return [rt.finalize() for rt in self._runtimes]
+
+
+class ShardedSimulator:
+    """Conservative-window coordinator over N shard runtimes.
+
+    Parameters
+    ----------
+    builders:
+        One zero-argument picklable factory per shard; each builds that
+        shard's :class:`ShardRuntime`.  Factories (not runtimes) cross the
+        process boundary in parallel mode.
+    plan:
+        The window plan: ``plan.shards`` and ``plan.horizon(t)``.
+    parallel:
+        ``True`` -> one persistent forked worker per shard; ``False`` ->
+        all shards inline in this process (bit-identical results either
+        way).  ``None`` (default) picks parallel when the machine has more
+        than one worker available (``NDPBRIDGE_JOBS`` / CPU count, the
+        same knob :mod:`repro.exec.runner` uses).
+    policy:
+        Barrier consensus policy; defaults to :func:`default_policy`.
+    max_windows:
+        Safety valve against a model that never reaches a finish
+        consensus.
+    """
+
+    def __init__(
+        self,
+        builders: Sequence[Callable[[], ShardRuntime]],
+        plan: "FixedLookaheadPlan | object",
+        parallel: Optional[bool] = None,
+        policy: Optional[Policy] = None,
+        max_windows: int = 10_000_000,
+    ) -> None:
+        self.shards = int(getattr(plan, "shards"))
+        if len(builders) != self.shards:
+            raise ValueError(
+                f"{len(builders)} builders for a {self.shards}-shard plan"
+            )
+        self._builders = list(builders)
+        self._plan = plan
+        self._horizon: Callable[[int], int] = getattr(plan, "horizon")
+        self._policy: Policy = policy if policy is not None else default_policy
+        self.max_windows = max_windows
+        if parallel is None:
+            parallel = self.shards > 1 and self._workers_available()
+        self.parallel = bool(parallel)
+        self.windows = 0
+        self.barriers = 0
+        self.exported: Dict[Tuple[int, int], int] = {}
+        self.injected: Dict[Tuple[int, int], int] = {}
+
+    @staticmethod
+    def _workers_available() -> bool:
+        from ..exec.runner import default_jobs
+
+        return default_jobs() > 1
+
+    def _make_transport(self) -> "_InlineTransport":
+        if self.parallel:
+            from ..exec.shardpool import ForkTransport
+
+            # ForkTransport implements the same five broadcast methods.
+            return ForkTransport(self._builders)  # type: ignore[return-value]
+        return _InlineTransport(self._builders)
+
+    # ------------------------------------------------------------------
+    def run(self) -> ShardedResult:
+        """Run every shard to the finish consensus; returns the payloads.
+
+        Raises :class:`SimulationError` on a lookahead violation, a
+        stalled run (no events, no messages, but no finish consensus), or
+        a cross-shard conservation mismatch.
+        """
+        with self._make_transport() as transport:
+            reports = transport.begin_all()
+            if self.shards == 1:
+                transport.run_complete_all()
+                payloads = transport.finalize_all()
+                return ShardedResult(
+                    payloads=payloads, reports=list(reports), windows=0,
+                    barriers=0, boundary_messages=0, exported={}, injected={},
+                )
+            pending: List[BoundaryMessage] = []
+            self._collect(reports, pending, window_end=None)
+            while True:
+                self.barriers += 1
+                decision = self._policy(reports, len(pending))
+                if decision is not None:
+                    if decision.kind == "finish":
+                        if pending:
+                            raise SimulationError(
+                                "sharded: finish decided with "
+                                f"{len(pending)} boundary messages in flight"
+                            )
+                        reports = transport.control_all(decision)
+                        # A finish report must not carry fresh exports;
+                        # anything collected here fails conservation below.
+                        self._collect(reports, pending, window_end=None)
+                        break
+                    # Epoch advance may unblock events earlier than the
+                    # reported next-event times (units wake at their local
+                    # `now`), so re-report before sizing the next window.
+                    reports = transport.control_all(decision)
+                    self._collect(reports, pending, window_end=None)
+                    continue
+                floor = self._window_floor(reports, pending)
+                if floor is None:
+                    raise SimulationError(
+                        "sharded: run stalled -- no events, no boundary "
+                        "messages, and no finish consensus (a shard lost "
+                        "track of outstanding work)"
+                    )
+                window_end = self._horizon(floor)
+                if window_end <= floor:
+                    raise SimulationError(
+                        f"sharded: window plan must advance time, got "
+                        f"horizon({floor}) = {window_end}"
+                    )
+                inboxes = self._split_deliveries(pending, window_end)
+                reports = transport.window_all(window_end - 1, inboxes)
+                self.windows += 1
+                if self.windows > self.max_windows:
+                    raise SimulationError(
+                        f"sharded: exceeded max_windows={self.max_windows}"
+                    )
+                self._collect(reports, pending, window_end=window_end)
+            payloads = transport.finalize_all()
+        self._check_conservation(pending)
+        return ShardedResult(
+            payloads=payloads,
+            reports=list(reports),
+            windows=self.windows,
+            barriers=self.barriers,
+            boundary_messages=sum(self.exported.values()),
+            exported=dict(self.exported),
+            injected=dict(self.injected),
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _window_floor(
+        reports: Sequence[ShardReport], pending: Sequence[BoundaryMessage]
+    ) -> Optional[int]:
+        times = [
+            r.next_event_time
+            for r in reports
+            if r.next_event_time is not None
+        ]
+        times.extend(m.deliver_time for m in pending)
+        return min(times) if times else None
+
+    def _collect(
+        self,
+        reports: Sequence[ShardReport],
+        pending: List[BoundaryMessage],
+        window_end: Optional[int],
+    ) -> None:
+        """Validate and absorb every outbox message into ``pending``."""
+        for report in reports:
+            for msg in report.outbox:
+                if not 0 <= msg.dst_shard < self.shards:
+                    raise SimulationError(
+                        f"sharded: message to unknown shard {msg.dst_shard}"
+                    )
+                if msg.dst_shard == msg.src_shard:
+                    raise SimulationError(
+                        "sharded: shard exported a message to itself "
+                        f"(shard {msg.src_shard}) -- local traffic must "
+                        "stay inside the shard's own simulator"
+                    )
+                bound = self._horizon(msg.send_time)
+                if msg.deliver_time < bound or (
+                    window_end is not None and msg.deliver_time < window_end
+                ):
+                    raise SimulationError(
+                        "sharded: lookahead violation -- message from "
+                        f"shard {msg.src_shard} to {msg.dst_shard} sent at "
+                        f"t={msg.send_time} claims delivery at "
+                        f"t={msg.deliver_time}, before the conservative "
+                        f"bound horizon({msg.send_time})={bound}"
+                        + (
+                            f" / window end {window_end}"
+                            if window_end is not None
+                            else ""
+                        )
+                    )
+                key = (msg.src_shard, msg.dst_shard)
+                self.exported[key] = self.exported.get(key, 0) + 1
+                pending.append(msg)
+
+    def _split_deliveries(
+        self, pending: List[BoundaryMessage], window_end: int
+    ) -> List[List[BoundaryMessage]]:
+        """Move messages deliverable before ``window_end`` into per-shard
+        inboxes, in deterministic ``(deliver_time, src_shard, seq)``
+        order."""
+        due = [m for m in pending if m.deliver_time < window_end]
+        pending[:] = [m for m in pending if m.deliver_time >= window_end]
+        due.sort(key=lambda m: (m.deliver_time, m.src_shard, m.seq))
+        inboxes: List[List[BoundaryMessage]] = [[] for _ in range(self.shards)]
+        for msg in due:
+            key = (msg.src_shard, msg.dst_shard)
+            self.injected[key] = self.injected.get(key, 0) + 1
+            inboxes[msg.dst_shard].append(msg)
+        return inboxes
+
+    def _check_conservation(self, pending: Sequence[BoundaryMessage]) -> None:
+        """Cross-shard conservation merge: exported == injected, none lost."""
+        if pending:
+            raise SimulationError(
+                f"sharded: {len(pending)} boundary messages undelivered at "
+                "finish"
+            )
+        if self.exported != self.injected:
+            diffs = {
+                key: (self.exported.get(key, 0), self.injected.get(key, 0))
+                for key in set(self.exported) | set(self.injected)
+                if self.exported.get(key, 0) != self.injected.get(key, 0)
+            }
+            raise SimulationError(
+                "sharded: cross-shard conservation violated -- "
+                f"exported != injected for (src, dst) pairs {diffs}"
+            )
