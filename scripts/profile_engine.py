@@ -11,9 +11,15 @@ engine (inline, so the profile covers one process executing every
 shard's hot loop plus the window/barrier machinery) and records under
 ``profile_tree_on_O_shardedN``.
 
+With ``--snapshot-at N`` the serial workload pauses at cycle N for a
+snapshot + fork and finishes from the restored clone (see
+``repro.state.snapshot``), so the profile covers the deep-clone
+capture/restore cost alongside the hot loop; records under
+``profile_tree_on_O_snapshotN`` with the snapshot size attached.
+
 Usage:
     PYTHONPATH=src python scripts/profile_engine.py [--smoke]
-        [--units N] [--scale F] [--shards N]
+        [--units N] [--scale F] [--shards N] [--snapshot-at N]
         [--sort cumulative|tottime] [--top N] [--dump profile.prof]
 """
 
@@ -42,6 +48,10 @@ def main() -> int:
     parser.add_argument("--shards", type=int, default=1,
                         help="profile the sharded engine (inline) with "
                              "this many shards")
+    parser.add_argument("--snapshot-at", type=int, default=None,
+                        dest="snapshot_at", metavar="N",
+                        help="pause the serial run at cycle N, snapshot, "
+                             "and finish from the restored clone")
     parser.add_argument("--sort", default="cumulative",
                         choices=["cumulative", "tottime"])
     parser.add_argument("--top", type=int, default=25)
@@ -58,6 +68,9 @@ def main() -> int:
     cfg = scaled_config(args.units, Design.O, seed=args.seed)
 
     profiler = cProfile.Profile()
+    snap_size = None
+    if args.shards > 1 and args.snapshot_at is not None:
+        parser.error("--snapshot-at profiles the serial engine only")
     if args.shards > 1:
         from repro.runtime.shards import run_app_sharded
 
@@ -70,6 +83,19 @@ def main() -> int:
         profiler.disable()
         wall_s = time.perf_counter() - t0
         events = result.system.events_processed
+    elif args.snapshot_at is not None:
+        from repro.state.snapshot import run_app_with_snapshot
+
+        app = make_app("tree", scale=args.scale, seed=args.seed)
+        t0 = time.perf_counter()
+        profiler.enable()
+        result, snap = run_app_with_snapshot(
+            app, cfg, snapshot_at=args.snapshot_at
+        )
+        profiler.disable()
+        wall_s = time.perf_counter() - t0
+        events = result.system.sim.events_processed
+        snap_size = snap.size_bytes()
     else:
         app = make_app("tree", scale=args.scale, seed=args.seed)
         t0 = time.perf_counter()
@@ -97,7 +123,9 @@ def main() -> int:
     key = "profile_tree_on_O_smoke" if args.smoke else "profile_tree_on_O"
     if args.shards > 1:
         key = f"{key}_sharded{args.shards}"
-    record_bench(key, {
+    if args.snapshot_at is not None:
+        key = f"{key}_snapshot{args.snapshot_at}"
+    payload = {
         "units": args.units,
         "scale": args.scale,
         "seed": args.seed,
@@ -106,7 +134,11 @@ def main() -> int:
         "events": events,
         "wall_s_profiled": round(wall_s, 4),
         "events_per_s_profiled": round(events / wall_s),
-    })
+    }
+    if snap_size is not None:
+        payload["snapshot_at"] = args.snapshot_at
+        payload["snapshot_bytes"] = snap_size
+    record_bench(key, payload)
     return 0
 
 

@@ -1,0 +1,146 @@
+"""``python -m repro.analyze`` -- every static analyzer, one invocation.
+
+The repo carries three house analyzers with one shared finding model
+(:class:`repro.lint.checker.Diagnostic`):
+
+* **simlint** (``repro.lint``)  -- determinism hazards (SL rules),
+* **simflow** (``repro.flow``)  -- message-protocol invariants (FL rules),
+* **simstate** (``repro.state``) -- state inventory & snapshottability
+  (ST rules).
+
+Running them separately means three CI steps, three exit codes, and
+three SARIF artifacts for what is conceptually a single gate.  This
+module fans one path list out to all three and merges the answers:
+
+* exit code 0 only when *every* tool is clean; 1 if any finds anything;
+  2 on usage errors,
+* text output interleaves findings prefixed by tool name,
+* ``--format sarif`` emits one SARIF 2.1.0 log whose ``runs`` array has
+  one run per tool (the format is explicitly multi-run, and CI uploads
+  annotate all of them from a single artifact).
+
+The tools stay individually invocable (``python -m repro.lint`` etc.)
+for focused runs; this is the aggregate gate CI uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..flow.checker import analyze_paths as _flow_paths
+from ..flow.rules import FLOW_RULES
+from ..lint.checker import Diagnostic, lint_paths as _lint_paths
+from ..lint.rules import RULES as LINT_RULES
+from ..lint.sarif import SARIF_SCHEMA, SARIF_VERSION, sarif_report
+from ..state.checker import analyze_paths as _state_paths
+from ..state.rules import STATE_RULES
+
+__all__ = ["TOOLS", "run_tools", "merged_sarif", "main"]
+
+# (name, runner, rule table) -- ordered as CI historically ran them.
+TOOLS: Tuple[Tuple[str, Any, Any], ...] = (
+    ("simlint", _lint_paths, LINT_RULES),
+    ("simflow", _flow_paths, FLOW_RULES),
+    ("simstate", _state_paths, STATE_RULES),
+)
+
+
+def run_tools(
+    paths: Sequence[str],
+) -> List[Tuple[str, List[Diagnostic]]]:
+    """Run every analyzer over ``paths``; returns (tool, findings) pairs."""
+    return [(name, runner(paths)) for name, runner, _rules in TOOLS]
+
+
+def merged_sarif(
+    results: Sequence[Tuple[str, List[Diagnostic]]],
+) -> Dict[str, Any]:
+    """One SARIF log with one run per tool.
+
+    Each tool's run is produced by the shared :func:`sarif_report` (so
+    per-tool output is byte-identical to running that tool alone); the
+    merge just concatenates the ``runs`` arrays under one envelope.
+    """
+    rules_of = {name: rules for name, _runner, rules in TOOLS}
+    runs: List[Dict[str, Any]] = []
+    for name, diagnostics in results:
+        runs.extend(
+            sarif_report(diagnostics, rules_of[name], name)["runs"]
+        )
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": runs,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description=(
+            "run simlint + simflow + simstate with one exit code "
+            "and one merged SARIF report"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        dest="format",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the per-tool summary lines",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_tools(args.paths)
+    total = sum(len(diags) for _name, diags in results)
+
+    if args.format == "sarif":
+        text = json.dumps(merged_sarif(results), indent=2)
+        if args.output:
+            Path(args.output).write_text(text + "\n", encoding="utf-8")
+        else:
+            print(text)
+        return 1 if total else 0
+
+    lines = [
+        f"{name}: {diag.format()}"
+        for name, diags in results
+        for diag in diags
+    ]
+    body = "\n".join(lines)
+    if args.output:
+        Path(args.output).write_text(
+            body + ("\n" if body else ""), encoding="utf-8"
+        )
+    elif body:
+        print(body)
+    if not args.quiet:
+        for name, diags in results:
+            if diags:
+                print(f"{name}: {len(diags)} finding(s)")
+            else:
+                print(f"{name}: clean")
+        verdict = "clean" if not total else f"{total} finding(s)"
+        print(f"analyze: {verdict} -- {len(TOOLS)} tools")
+    return 1 if total else 0

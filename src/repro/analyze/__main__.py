@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.analyze``."""
+
+import sys
+
+from . import main
+
+sys.exit(main())

@@ -90,6 +90,7 @@ def cell_key(
     verify: bool = True,
     shards: int = 1,
     partition: str = "",
+    snapshot_at: "Optional[int]" = None,
 ) -> str:
     """Cache key for one simulation cell.
 
@@ -98,22 +99,29 @@ def cell_key(
     config, so its results must never alias the serial cell.  The
     partition hash (see :class:`repro.sim.PartitionPlan`) covers the
     window/lookahead parameters as well as the split itself.
+
+    ``snapshot_at`` fingerprints snapshot-resume execution (the cell is
+    paused, snapshotted, and finished from the restored clone).  Its
+    metrics are asserted bit-identical to the plain cell's, but a cache
+    hit on the plain key would skip the very equivalence the cell
+    exists to exercise -- so it gets its own key.  ``None`` (the plain
+    path) is omitted from the blob, preserving existing cache keys.
     """
-    blob = json.dumps(
-        {
-            "format": FORMAT_VERSION,
-            "app": app,
-            "design": config.design.value,
-            "config": config_fingerprint(config),
-            "scale": scale,
-            "seed": seed,
-            "verify": verify,
-            "shards": shards,
-            "partition": partition,
-            "code": code_version(),
-        },
-        sort_keys=True,
-    )
+    fields: Dict[str, object] = {
+        "format": FORMAT_VERSION,
+        "app": app,
+        "design": config.design.value,
+        "config": config_fingerprint(config),
+        "scale": scale,
+        "seed": seed,
+        "verify": verify,
+        "shards": shards,
+        "partition": partition,
+        "code": code_version(),
+    }
+    if snapshot_at is not None:
+        fields["snapshot_at"] = snapshot_at
+    blob = json.dumps(fields, sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest()
 
 

@@ -44,6 +44,14 @@ class CellRequest:
     its worker -- the cell pool is already the process-level
     parallelism); the cache key then includes the shard count and the
     partition-map hash so sharded results never alias serial ones.
+
+    ``snapshot_at`` (serial cells only) routes execution through
+    :func:`repro.state.snapshot.run_app_with_snapshot`: pause at that
+    cycle, snapshot, and finish from the restored clone -- exercising
+    the checkpoint machinery on real workloads.  The metrics are
+    bit-identical to the plain cell by construction (the snapshot
+    oracle asserts it), but the key fingerprints ``snapshot_at`` so
+    the equivalence actually runs instead of hitting the plain cache.
     """
 
     app: str
@@ -52,6 +60,7 @@ class CellRequest:
     seed: int
     verify: bool = True
     shards: int = 1
+    snapshot_at: Optional[int] = None
 
     @property
     def key(self) -> str:
@@ -63,6 +72,7 @@ class CellRequest:
         return cell_key(
             self.app, self.config, self.scale, self.seed, self.verify,
             shards=self.shards, partition=partition,
+            snapshot_at=self.snapshot_at,
         )
 
 
@@ -79,12 +89,26 @@ def _execute_cell(request: CellRequest) -> Dict[str, object]:
     if request.shards > 1:
         from ..runtime.shards import run_app_sharded
 
+        if request.snapshot_at is not None:
+            raise ValueError(
+                "snapshot_at requires a serial cell (shards=1); "
+                "sharded checkpoints go through BarrierSnapshotter"
+            )
         result = run_app_sharded(
             request.app, request.config, scale=request.scale,
             seed=request.seed, shards=request.shards,
             verify=request.verify, parallel=False,
         )
         return metrics_to_payload(result.metrics)
+    if request.snapshot_at is not None:
+        from ..state.snapshot import run_app_with_snapshot
+
+        app = make_app(request.app, scale=request.scale, seed=request.seed)
+        forked, _ = run_app_with_snapshot(
+            app, request.config, snapshot_at=request.snapshot_at,
+            verify=request.verify,
+        )
+        return metrics_to_payload(forked.metrics)
     app = make_app(request.app, scale=request.scale, seed=request.seed)
     # shards is pinned from the request (never the NDPBRIDGE_SHARDS env
     # knob): the cache key fingerprints request.shards, so an env-routed

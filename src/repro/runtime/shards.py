@@ -75,6 +75,7 @@ __all__ = [
     "NDPShardRuntime",
     "ShardNDPSystem",
     "ShardedRunInfo",
+    "finish_sharded_run",
     "merge_shard_payloads",
     "resolve_shards",
     "run_app_sharded",
@@ -90,6 +91,9 @@ class _UnitView(SequenceABC):
     shard is always a partitioning bug and raises ``IndexError`` loudly.
     Iteration and ``len`` cover the local units only (metrics, auditing).
     """
+
+    # The wrapped list's only holder once _wrap_units returns the view.
+    _snapshot_owns_ = ("_units",)
 
     def __init__(self, units: List[NDPUnit], base_unit: int) -> None:
         self._units = units
@@ -553,6 +557,7 @@ def run_app_sharded(
     shards: Optional[int] = None,
     verify: bool = True,
     parallel: Optional[bool] = None,
+    barrier_hook=None,
 ):
     """Sharded twin of :func:`repro.runtime.runner.run_app`.
 
@@ -568,9 +573,12 @@ def run_app_sharded(
     shards every replica holds just its partition of the final state);
     multi-shard correctness is covered by the bit-identity and
     conservation checks instead.
-    """
-    from .runner import RunResult
 
+    ``barrier_hook`` is forwarded to the
+    :class:`~repro.sim.sharded.ShardedSimulator` barrier loop -- the
+    snapshot layer uses it to capture barrier-aligned checkpoints
+    without perturbing the run.
+    """
     if config.design is Design.H:
         raise ConfigError(
             "design H runs on the host model; sharded execution requires "
@@ -584,8 +592,33 @@ def run_app_sharded(
         )
         for shard_id in range(plan.shards)
     ]
-    engine = ShardedSimulator(builders, plan, parallel=parallel)
+    engine = ShardedSimulator(
+        builders, plan, parallel=parallel, barrier_hook=barrier_hook
+    )
     result = engine.run()
+    return finish_sharded_run(
+        app, config, plan, result, scale=scale, seed=seed
+    )
+
+
+def finish_sharded_run(
+    app: "str | NDPApplication",
+    config: SystemConfig,
+    plan: PartitionPlan,
+    result,
+    *,
+    scale: float = 1.0,
+    seed: int = 1,
+):
+    """Turn a :class:`~repro.sim.sharded.ShardedResult` into a RunResult.
+
+    The conservation merge + metrics merge tail of
+    :func:`run_app_sharded`, shared with the snapshot layer's
+    :func:`~repro.state.snapshot.resume_app_sharded` so a resumed run
+    closes out through exactly the same checks and arithmetic.
+    """
+    from .runner import RunResult
+
     payloads = sorted(result.payloads, key=lambda p: int(p["shard"]))  # type: ignore[call-overload]
 
     # Cross-shard conservation merge: the shards' own ledgers must agree

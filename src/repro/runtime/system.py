@@ -106,13 +106,50 @@ class NDPSystem:
         Raises :class:`SimulationError` when the event queue empties while
         work is still outstanding (a lost task/message -- a model bug) or
         when ``max_cycles`` is exceeded.
+
+        Equivalent to :meth:`start` followed by :meth:`finish`; the
+        snapshot driver (:mod:`repro.state.snapshot`) uses the split
+        form with :meth:`advance` in between to pause at a cycle.
+        """
+        return self.start().finish()
+
+    def start(self) -> "NDPSystem":
+        """Begin execution without draining any events.
+
+        Starts the fabric and runs the initial progress check; the event
+        queue is untouched, so a subsequent :meth:`advance`/:meth:`finish`
+        continues exactly where an uninterrupted :meth:`run` would have
+        started.
         """
         if self._ran:
             raise RuntimeError("system already ran; build a fresh one")
         self._ran = True
         self.fabric.start()
         self.tracker.check_progress()  # empty workload finishes immediately
-        self.sim.run(stop_condition=lambda: self.tracker.finished)
+        return self
+
+    def advance(self, until: int) -> "NDPSystem":
+        """Run events up to cycle ``until`` (inclusive), then pause.
+
+        The pause point is a clean batch boundary: the engine dispatches
+        whole same-cycle batches, so no cycle is ever half-executed.
+        Requires :meth:`start` first.
+        """
+        if not self._ran:
+            raise RuntimeError("call start() before advance()")
+        if not self.tracker.finished:
+            self.sim.run(
+                until=until,
+                stop_condition=lambda: self.tracker.finished,
+            )
+        return self
+
+    def finish(self) -> "NDPSystem":
+        """Drain the remaining events and close out the run."""
+        if not self._ran:
+            raise RuntimeError("call start() before finish()")
+        if not self.tracker.finished:
+            self.sim.run(stop_condition=lambda: self.tracker.finished)
         if not self.tracker.finished:
             raise SimulationError(
                 "event queue drained with work outstanding: "

@@ -356,6 +356,21 @@ class Simulator:
         """Cancelled entries physically removed from the heap so far."""
         return self._cancel_purged
 
+    def queue_entries(self) -> List[Tuple[int, int, object]]:
+        """Live queue entries in dispatch order (cancelled ones skipped).
+
+        Read-only view for snapshot manifests and debugging: the heap is
+        not modified, so this never perturbs the run.  Cost is O(n log n)
+        -- never call it from the hot loop.
+        """
+        entries = [
+            entry
+            for entry in self._queue
+            if not (type(entry[2]) is Event and entry[2].cancelled)
+        ]
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        return entries
+
     def peek_time(self) -> Optional[int]:
         """Time of the next non-cancelled event, or ``None`` if drained."""
         queue = self._queue

@@ -211,8 +211,16 @@ class _InlineTransport:
         self._builders = list(builders)
         self._runtimes: List[ShardRuntime] = []
 
+    @classmethod
+    def adopt(cls, runtimes: Sequence[ShardRuntime]) -> "_InlineTransport":
+        """A transport over already-built runtimes (snapshot resume)."""
+        transport = cls([])
+        transport._runtimes = list(runtimes)
+        return transport
+
     def __enter__(self) -> "_InlineTransport":
-        self._runtimes = [build() for build in self._builders]
+        if not self._runtimes:
+            self._runtimes = [build() for build in self._builders]
         return self
 
     def __exit__(self, *exc: object) -> None:
@@ -262,6 +270,13 @@ class ShardedSimulator:
     max_windows:
         Safety valve against a model that never reaches a finish
         consensus.
+    barrier_hook:
+        Optional observer called at the top of every barrier as
+        ``hook(engine, transport, reports, pending)`` -- after the
+        latest reports were collected, before the consensus decision.
+        The snapshot layer (:mod:`repro.state.snapshot`) uses it to
+        freeze barrier-aligned checkpoints; hooks must not mutate any
+        of their arguments.
     """
 
     def __init__(
@@ -271,6 +286,13 @@ class ShardedSimulator:
         parallel: Optional[bool] = None,
         policy: Optional[Policy] = None,
         max_windows: int = 10_000_000,
+        barrier_hook: Optional[
+            Callable[
+                ["ShardedSimulator", object, List[ShardReport],
+                 List[BoundaryMessage]],
+                None,
+            ]
+        ] = None,
     ) -> None:
         self.shards = int(getattr(plan, "shards"))
         if len(builders) != self.shards:
@@ -285,6 +307,7 @@ class ShardedSimulator:
         if parallel is None:
             parallel = self.shards > 1 and self._workers_available()
         self.parallel = bool(parallel)
+        self.barrier_hook = barrier_hook
         self.windows = 0
         self.barriers = 0
         self.exported: Dict[Tuple[int, int], int] = {}
@@ -323,50 +346,92 @@ class ShardedSimulator:
                 )
             pending: List[BoundaryMessage] = []
             self._collect(reports, pending, window_end=None)
-            while True:
-                self.barriers += 1
-                decision = self._policy(reports, len(pending))
-                if decision is not None:
-                    if decision.kind == "finish":
-                        if pending:
-                            raise SimulationError(
-                                "sharded: finish decided with "
-                                f"{len(pending)} boundary messages in flight"
-                            )
-                        reports = transport.control_all(decision)
-                        # A finish report must not carry fresh exports;
-                        # anything collected here fails conservation below.
-                        self._collect(reports, pending, window_end=None)
-                        break
-                    # Epoch advance may unblock events earlier than the
-                    # reported next-event times (units wake at their local
-                    # `now`), so re-report before sizing the next window.
-                    reports = transport.control_all(decision)
-                    self._collect(reports, pending, window_end=None)
-                    continue
-                floor = self._window_floor(reports, pending)
-                if floor is None:
-                    raise SimulationError(
-                        "sharded: run stalled -- no events, no boundary "
-                        "messages, and no finish consensus (a shard lost "
-                        "track of outstanding work)"
-                    )
-                window_end = self._horizon(floor)
-                if window_end <= floor:
-                    raise SimulationError(
-                        f"sharded: window plan must advance time, got "
-                        f"horizon({floor}) = {window_end}"
-                    )
-                inboxes = self._split_deliveries(pending, window_end)
-                reports = transport.window_all(window_end - 1, inboxes)
-                self.windows += 1
-                if self.windows > self.max_windows:
-                    raise SimulationError(
-                        f"sharded: exceeded max_windows={self.max_windows}"
-                    )
-                self._collect(reports, pending, window_end=window_end)
-            payloads = transport.finalize_all()
+            payloads, reports = self._barrier_loop(
+                transport, list(reports), pending
+            )
         self._check_conservation(pending)
+        return self._result(payloads, reports)
+
+    def resume(
+        self,
+        runtimes: Sequence[ShardRuntime],
+        reports: List[ShardReport],
+        pending: List[BoundaryMessage],
+    ) -> ShardedResult:
+        """Continue a barrier-aligned snapshot to the finish consensus.
+
+        ``runtimes``/``reports``/``pending`` are the restored barrier
+        state; the caller restores the ledger and window counters onto
+        this engine before resuming.  Runs inline (resume never forks).
+        """
+        with _InlineTransport.adopt(runtimes) as transport:
+            payloads, reports = self._barrier_loop(
+                transport, list(reports), pending
+            )
+        self._check_conservation(pending)
+        return self._result(payloads, reports)
+
+    def _barrier_loop(
+        self,
+        transport: "_InlineTransport",
+        reports: List[ShardReport],
+        pending: List[BoundaryMessage],
+    ) -> Tuple[List[Dict[str, object]], List[ShardReport]]:
+        """The conservative-window barrier loop, from any barrier state
+        (a fresh run after begin+collect, or a restored snapshot) to the
+        finish consensus."""
+        while True:
+            self.barriers += 1
+            if self.barrier_hook is not None:
+                self.barrier_hook(self, transport, reports, pending)
+            decision = self._policy(reports, len(pending))
+            if decision is not None:
+                if decision.kind == "finish":
+                    if pending:
+                        raise SimulationError(
+                            "sharded: finish decided with "
+                            f"{len(pending)} boundary messages in flight"
+                        )
+                    reports = transport.control_all(decision)
+                    # A finish report must not carry fresh exports;
+                    # anything collected here fails conservation below.
+                    self._collect(reports, pending, window_end=None)
+                    break
+                # Epoch advance may unblock events earlier than the
+                # reported next-event times (units wake at their local
+                # `now`), so re-report before sizing the next window.
+                reports = transport.control_all(decision)
+                self._collect(reports, pending, window_end=None)
+                continue
+            floor = self._window_floor(reports, pending)
+            if floor is None:
+                raise SimulationError(
+                    "sharded: run stalled -- no events, no boundary "
+                    "messages, and no finish consensus (a shard lost "
+                    "track of outstanding work)"
+                )
+            window_end = self._horizon(floor)
+            if window_end <= floor:
+                raise SimulationError(
+                    f"sharded: window plan must advance time, got "
+                    f"horizon({floor}) = {window_end}"
+                )
+            inboxes = self._split_deliveries(pending, window_end)
+            reports = transport.window_all(window_end - 1, inboxes)
+            self.windows += 1
+            if self.windows > self.max_windows:
+                raise SimulationError(
+                    f"sharded: exceeded max_windows={self.max_windows}"
+                )
+            self._collect(reports, pending, window_end=window_end)
+        payloads = transport.finalize_all()
+        return payloads, reports
+
+    def _result(
+        self,
+        payloads: List[Dict[str, object]],
+        reports: List[ShardReport],
+    ) -> ShardedResult:
         return ShardedResult(
             payloads=payloads,
             reports=list(reports),

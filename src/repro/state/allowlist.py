@@ -1,0 +1,101 @@
+"""Sanctioned exceptions to the simstate rules.
+
+Same contract as simlint's allowlist: every entry names one
+(rule, module) pair and must carry a written justification -- the
+checker refuses empty ones at import time.  Prefer a per-line
+``# simstate: ignore[RULE]`` for one-off sites; the allowlist is for
+modules whose *purpose* is the exception.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .rules import STATE_RULE_CODES
+
+
+@dataclass(frozen=True)
+class AllowlistEntry:
+    """One sanctioned (rule, module) pair."""
+
+    rule: str
+    #: Module path relative to the package root, e.g. "repro/sim/rng.py".
+    module: str
+    justification: str
+
+
+ALLOWLIST: Tuple[AllowlistEntry, ...] = (
+    AllowlistEntry(
+        rule="ST004",
+        module="repro/sim/rng.py",
+        justification=(
+            "the named-stream facade itself: DeterministicRNG wraps "
+            "random.Random behind sha256-derived (seed, name) streams "
+            "and substream() necessarily constructs new instances; "
+            "snapshot/restore captures them via getstate()/setstate()"
+        ),
+    ),
+    AllowlistEntry(
+        rule="ST004",
+        module="repro/runtime/system.py",
+        justification=(
+            "the system root constructs the one root DeterministicRNG "
+            "stream per run (seeded from SystemConfig.seed); every "
+            "other consumer derives a substream from it"
+        ),
+    ),
+    AllowlistEntry(
+        rule="ST003",
+        module="repro/runtime/task.py",
+        justification=(
+            "_task_ids is a process-global monotonic itertools.count "
+            "used only for relative ordering (reserved_id comparisons "
+            "in NDPUnit._next_task); a restore that resumes the count "
+            "at a shifted base preserves every comparison, so the "
+            "counter is snapshot-safe without being captured.  The "
+            "snapshot manifest records task ids symbolically, never "
+            "the counter position"
+        ),
+    ),
+    AllowlistEntry(
+        rule="ST003",
+        module="repro/messages/types.py",
+        justification=(
+            "_message_ids is a process-global monotonic itertools.count "
+            "used only for identity (auditor ledger keys, wire-cache "
+            "tags); ids never feed control flow or arithmetic, so a "
+            "shifted base after restore is behaviour-preserving and "
+            "the counter needs no capture"
+        ),
+    ),
+)
+
+
+def _validate() -> None:
+    seen = set()
+    for entry in ALLOWLIST:
+        if entry.rule not in STATE_RULE_CODES:
+            raise ValueError(
+                f"allowlist names unknown rule {entry.rule!r}"
+            )
+        if not entry.justification.strip():
+            raise ValueError(
+                f"allowlist entry ({entry.rule}, {entry.module}) has no "
+                f"justification -- every sanctioned site must say why"
+            )
+        key = (entry.rule, entry.module)
+        if key in seen:
+            raise ValueError(f"duplicate allowlist entry {key}")
+        seen.add(key)
+
+
+_validate()
+
+
+def is_allowlisted(rule: str, module_path: str) -> bool:
+    """True if ``rule`` is sanctioned for the module at ``module_path``."""
+    return any(
+        entry.rule == rule and entry.module == module_path
+        for entry in ALLOWLIST
+    )

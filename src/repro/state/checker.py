@@ -1,0 +1,134 @@
+"""simstate orchestration: parse, build the inventory, run ST rules.
+
+Reuses simlint's :class:`~repro.lint.checker.Diagnostic` and suppression
+machinery (``# simstate: ignore[ST001]``; bare ``ignore`` silences the
+line) but, like simflow, analyses the *whole tree at once* -- ST001
+needs cross-module inheritance to resolve which base declared an
+attribute.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from ..lint.checker import (
+    Diagnostic,
+    is_suppressed,
+    iter_python_files,
+    module_path_of,
+    suppressed_lines,
+)
+from .allowlist import is_allowlisted
+from .inventory import StateInventory, build_inventory
+from .rules import STATE_RULES
+
+#: simstate analyses the packages whose objects live inside a running
+#: simulation and therefore inside a snapshot.  Analysis/plotting/CLI
+#: layers hold no simulated state and are out of scope by construction.
+STATE_SCOPE_PREFIXES: Tuple[str, ...] = (
+    "repro/sim/",
+    "repro/bridge/",
+    "repro/ndp/",
+    "repro/runtime/",
+    "repro/balance/",
+    "repro/links/",
+    "repro/dram/",
+    "repro/messages/",
+)
+
+
+def in_state_scope(module_path: str) -> bool:
+    return module_path.startswith(STATE_SCOPE_PREFIXES)
+
+
+def analyze_sources(
+    modules: Sequence[Tuple[Union[str, Path], str, str]]
+) -> List[Diagnostic]:
+    """Analyse ``(path, module_path, source)`` triples as one tree.
+
+    Out-of-scope modules are ignored; modules that fail to parse yield
+    an ST000 diagnostic and are dropped from the inventory (the rules
+    then run on whatever parsed).
+    """
+    diagnostics: List[Diagnostic] = []
+    parsed: List[Tuple[str, ast.Module]] = []
+    path_of: Dict[str, str] = {}
+    suppress_of: Dict[str, Dict[int, FrozenSet[str]]] = {}
+    for path, module_path, source in modules:
+        if not in_state_scope(module_path):
+            continue
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            diagnostics.append(
+                Diagnostic(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    rule="ST000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        parsed.append((module_path, tree))
+        path_of[module_path] = str(path)
+        suppress_of[module_path] = suppressed_lines(source, tool="simstate")
+
+    inventory = build_inventory(sorted(parsed, key=lambda mt: mt[0]))
+    for rule in STATE_RULES:
+        for module_path, line, col, message in rule.check(inventory):
+            if is_allowlisted(rule.code, module_path):
+                continue
+            suppressed = suppress_of.get(module_path, {})
+            if is_suppressed(suppressed, line, rule.code):
+                continue
+            diagnostics.append(
+                Diagnostic(
+                    path=path_of.get(module_path, module_path),
+                    line=line,
+                    col=col,
+                    rule=rule.code,
+                    message=message,
+                )
+            )
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return diagnostics
+
+
+def analyze_paths(
+    paths: Sequence[Union[str, Path]],
+    module_path_override: Optional[Dict[str, str]] = None,
+) -> List[Diagnostic]:
+    """Analyse every .py file under ``paths`` as one state tree."""
+    triples: List[Tuple[Union[str, Path], str, str]] = []
+    for path in iter_python_files(paths):
+        module_path = (module_path_override or {}).get(
+            str(path), module_path_of(path)
+        )
+        triples.append(
+            (path, module_path, path.read_text(encoding="utf-8"))
+        )
+    return analyze_sources(triples)
+
+
+def build_tree_inventory(
+    paths: Sequence[Union[str, Path]],
+    module_path_override: Optional[Dict[str, str]] = None,
+) -> StateInventory:
+    """The raw inventory for ``paths`` (CLI ``--inventory``, snapshot
+    cross-checks)."""
+    parsed: List[Tuple[str, ast.Module]] = []
+    for path in iter_python_files(paths):
+        module_path = (module_path_override or {}).get(
+            str(path), module_path_of(path)
+        )
+        if not in_state_scope(module_path):
+            continue
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError:
+            continue
+        parsed.append((module_path, tree))
+    return build_inventory(sorted(parsed, key=lambda mt: mt[0]))

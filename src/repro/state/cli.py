@@ -1,0 +1,124 @@
+"""``python -m repro.state`` -- the simstate command line.
+
+Same conventions as ``python -m repro.lint`` / ``python -m repro.flow``:
+exit 0 when clean, 1 when findings survive suppression, 2 on usage
+errors; default output is ``path:line:col: RULE message``,
+``--format sarif`` emits SARIF 2.1.0 (optionally into ``--output FILE``)
+for CI annotation.  ``--inventory`` dumps the per-class declared-state
+inventory as JSON instead of running the rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import List, Optional
+
+from ..lint.sarif import sarif_report
+from .checker import analyze_paths, build_tree_inventory
+from .inventory import inventory_as_dict
+from .rules import STATE_RULES
+
+
+def _list_rules() -> str:
+    lines = ["simstate rules:"]
+    for rule in STATE_RULES:
+        lines.append(f"  {rule.code}  {rule.name}")
+        lines.append(f"         {rule.description}")
+    lines.append("")
+    lines.append(
+        "suppress a single line with `# simstate: ignore[ST001]` "
+        "(comma-separate codes; bare `# simstate: ignore` silences all)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.state",
+        description=(
+            "simstate: mutable-state inventory static analysis "
+            "(snapshot completeness, fork/restore safety, RNG streams, "
+            "ownership of aliased containers)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table, then exit",
+    )
+    parser.add_argument(
+        "--inventory",
+        action="store_true",
+        help="dump the per-class declared-state inventory as JSON",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        dest="format",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    if args.inventory:
+        inventory = build_tree_inventory(args.paths)
+        text = json.dumps(inventory_as_dict(inventory), indent=2)
+        if args.output:
+            Path(args.output).write_text(text + "\n", encoding="utf-8")
+        else:
+            print(text)
+        return 0
+
+    diagnostics = analyze_paths(args.paths)
+
+    if args.format == "sarif":
+        text = json.dumps(
+            sarif_report(diagnostics, STATE_RULES, "simstate"), indent=2
+        )
+        if args.output:
+            Path(args.output).write_text(text + "\n", encoding="utf-8")
+        else:
+            print(text)
+        return 1 if diagnostics else 0
+
+    body = "\n".join(diag.format() for diag in diagnostics)
+    if args.output:
+        Path(args.output).write_text(
+            body + ("\n" if body else ""), encoding="utf-8"
+        )
+    elif body:
+        print(body)
+    if not args.quiet:
+        total = len(diagnostics)
+        if total:
+            print(
+                f"simstate: {total} finding(s) "
+                f"({len(STATE_RULES)} rules)"
+            )
+        else:
+            print(f"simstate: clean -- {len(STATE_RULES)} rules")
+    return 1 if diagnostics else 0
