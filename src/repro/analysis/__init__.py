@@ -3,6 +3,7 @@
 from .audit import AuditReport, audit_system
 from .sweep import SweepResult, Variant, run_sweep
 from .timeline import UnitActivity, render_timeline, system_timeline, utilization_summary
+from .latency import LatencyRecorder, exact_percentile
 from .metrics import RunMetrics, collect_metrics
 from .report import (
     energy_table,
@@ -23,6 +24,8 @@ __all__ = [
     "system_timeline",
     "utilization_summary",
     "audit_system",
+    "LatencyRecorder",
+    "exact_percentile",
     "RunMetrics",
     "collect_metrics",
     "energy_table",

@@ -29,6 +29,7 @@ def _hash(key: int, n_buckets: int) -> int:
 
 class HashTableApp(NDPApplication):
     name = "ht"
+    supports_requests = True
 
     def __init__(
         self,
@@ -47,6 +48,7 @@ class HashTableApp(NDPApplication):
         self.queries: List[int] = []
         self.hits = 0
         self.probes_done = 0
+        self._inserted: List[int] = []
 
     def build(self, system) -> None:
         units = system.partition.units
@@ -61,9 +63,13 @@ class HashTableApp(NDPApplication):
             "ht_slots", self.n_buckets * MAX_CHAIN, element_size=64
         )
         system.registry.register("ht_probe", self._probe)
-        inserted = [k for c in self.chains for k in c]
-        zipf = ZipfGenerator(len(inserted), self.skew, self.rng.substream("q"))
-        self.queries = [inserted[r] for r in zipf.sample_many(self.n_queries)]
+        self._inserted = [k for c in self.chains for k in c]
+        zipf = ZipfGenerator(
+            len(self._inserted), self.skew, self.rng.substream("q")
+        )
+        self.queries = [
+            self._inserted[r] for r in zipf.sample_many(self.n_queries)
+        ]
 
     def _slot_index(self, bucket: int, pos: int) -> int:
         return bucket * MAX_CHAIN + pos
@@ -76,14 +82,17 @@ class HashTableApp(NDPApplication):
         self.probes_done += 1
         if pos < len(chain) and chain[pos] == key:
             self.hits += 1
+            self._request_end(task)
             return
         if pos + 1 < len(chain):
             ctx.enqueue_task(
                 "ht_probe", task.ts,
                 self.addr(self.slots, self._slot_index(bucket, pos + 1)),
                 workload=PROBE_COST, actual_cycles=PROBE_COST,
-                args=(key,), read_only=True,
+                args=task.args, read_only=True,
             )
+        else:
+            self._request_end(task)
 
     def seed_tasks(self, system) -> None:
         for key in self.queries:
@@ -94,6 +103,27 @@ class HashTableApp(NDPApplication):
                 workload=PROBE_COST, actual_cycles=PROBE_COST,
                 args=(key,), read_only=True,
             ))
+
+    # -- request mode ----------------------------------------------------
+    def request_keyspace(self) -> int:
+        return len(self._inserted)
+
+    def make_request_task(self, rank: int, req_id: int) -> Task:
+        key = self._inserted[rank]
+        bucket = _hash(key, self.n_buckets)
+        return Task(
+            func="ht_probe", ts=0,
+            data_addr=self.addr(self.slots, self._slot_index(bucket, 0)),
+            workload=PROBE_COST, actual_cycles=PROBE_COST,
+            args=(key, req_id), read_only=True,
+        )
+
+    def request_span(self, rank: int) -> int:
+        key = self._inserted[rank]
+        return self.chains[_hash(key, self.n_buckets)].index(key) + 1
+
+    def request_visits(self) -> int:
+        return self.probes_done
 
     def verify(self) -> bool:
         # Every queried key was inserted, so every lookup must hit, after

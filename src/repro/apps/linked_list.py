@@ -26,6 +26,7 @@ MAX_NODES = 64
 
 class LinkedListApp(NDPApplication):
     name = "ll"
+    supports_requests = True
 
     def __init__(
         self,
@@ -47,6 +48,7 @@ class LinkedListApp(NDPApplication):
         self.lengths: List[int] = []
         self.visits_done = 0
         self.queries: List[int] = []
+        self._perm: List[int] = []
 
     def build(self, system) -> None:
         # Round the list count up so every unit holds whole lists.
@@ -63,8 +65,10 @@ class LinkedListApp(NDPApplication):
         )
         system.registry.register("ll_visit", self._visit)
         zipf = ZipfGenerator(self.n_lists, self.skew, self.rng.substream("q"))
-        perm = shuffled_identity(self.n_lists, self.rng.substream("perm"))
-        self.queries = [perm[zipf.sample()] for _ in range(self.n_queries)]
+        self._perm = shuffled_identity(self.n_lists, self.rng.substream("perm"))
+        self.queries = [
+            self._perm[zipf.sample()] for _ in range(self.n_queries)
+        ]
 
     def _node_index(self, lst: int, pos: int) -> int:
         return lst * MAX_NODES + pos
@@ -78,8 +82,10 @@ class LinkedListApp(NDPApplication):
                 "ll_visit", task.ts,
                 self.addr(self.nodes, self._node_index(lst, pos + 1)),
                 workload=NODE_COST, actual_cycles=NODE_COST,
-                read_only=True,
+                args=task.args, read_only=True,
             )
+        else:
+            self._request_end(task)
 
     def seed_tasks(self, system) -> None:
         for lst in self.queries:
@@ -89,6 +95,25 @@ class LinkedListApp(NDPApplication):
                 workload=NODE_COST, actual_cycles=NODE_COST,
                 read_only=True,
             ))
+
+    # -- request mode ----------------------------------------------------
+    def request_keyspace(self) -> int:
+        return self.n_lists
+
+    def make_request_task(self, rank: int, req_id: int) -> Task:
+        lst = self._perm[rank]
+        return Task(
+            func="ll_visit", ts=0,
+            data_addr=self.addr(self.nodes, self._node_index(lst, 0)),
+            workload=NODE_COST, actual_cycles=NODE_COST,
+            args=(req_id,), read_only=True,
+        )
+
+    def request_span(self, rank: int) -> int:
+        return self.lengths[self._perm[rank]]
+
+    def request_visits(self) -> int:
+        return self.visits_done
 
     def verify(self) -> bool:
         expected = sum(self.lengths[lst] for lst in self.queries)

@@ -22,6 +22,7 @@ NODE_COST = 24
 
 class TreeApp(NDPApplication):
     name = "tree"
+    supports_requests = True
 
     def __init__(
         self,
@@ -40,6 +41,7 @@ class TreeApp(NDPApplication):
         self.queries: List[int] = []
         self.found = 0
         self.nodes_visited = 0
+        self._perm: List[int] = []
 
     def build(self, system) -> None:
         if self.balanced:
@@ -51,8 +53,10 @@ class TreeApp(NDPApplication):
         )
         system.registry.register("tree_trav", self._traverse)
         zipf = ZipfGenerator(self.n_nodes, self.skew, self.rng.substream("q"))
-        perm = shuffled_identity(self.n_nodes, self.rng.substream("perm"))
-        self.queries = [perm[zipf.sample()] for _ in range(self.n_queries)]
+        self._perm = shuffled_identity(self.n_nodes, self.rng.substream("perm"))
+        self.queries = [
+            self._perm[zipf.sample()] for _ in range(self.n_queries)
+        ]
 
     def _traverse(self, ctx, task: Task) -> None:
         """Direct transcription of the paper's Algorithm 1."""
@@ -62,6 +66,7 @@ class TreeApp(NDPApplication):
         key = self.tree.keys[node]
         if key == query:
             self.found += 1
+            self._request_end(task)
             return
         child = self.tree.left[node] if query < key else self.tree.right[node]
         if child != -1:
@@ -69,8 +74,10 @@ class TreeApp(NDPApplication):
                 "tree_trav", task.ts,
                 self.addr(self.nodes, child),
                 workload=NODE_COST, actual_cycles=NODE_COST,
-                args=(query,), read_only=True,
+                args=task.args, read_only=True,
             )
+        else:
+            self._request_end(task)
 
     def seed_tasks(self, system) -> None:
         root_addr = self.addr(self.nodes, self.tree.root)
@@ -80,6 +87,24 @@ class TreeApp(NDPApplication):
                 workload=NODE_COST, actual_cycles=NODE_COST,
                 args=(query,), read_only=True,
             ))
+
+    # -- request mode ----------------------------------------------------
+    def request_keyspace(self) -> int:
+        return self.n_nodes
+
+    def make_request_task(self, rank: int, req_id: int) -> Task:
+        return Task(
+            func="tree_trav", ts=0,
+            data_addr=self.addr(self.nodes, self.tree.root),
+            workload=NODE_COST, actual_cycles=NODE_COST,
+            args=(self._perm[rank], req_id), read_only=True,
+        )
+
+    def request_span(self, rank: int) -> int:
+        return len(self.tree.search_path(self._perm[rank]))
+
+    def request_visits(self) -> int:
+        return self.nodes_visited
 
     def verify(self) -> bool:
         expected_visits = sum(

@@ -91,6 +91,7 @@ def cell_key(
     shards: int = 1,
     partition: str = "",
     snapshot_at: "Optional[int]" = None,
+    openloop: "Optional[object]" = None,
 ) -> str:
     """Cache key for one simulation cell.
 
@@ -106,6 +107,12 @@ def cell_key(
     hit on the plain key would skip the very equivalence the cell
     exists to exercise -- so it gets its own key.  ``None`` (the plain
     path) is omitted from the blob, preserving existing cache keys.
+
+    ``openloop`` fingerprints open-loop request driving: the
+    :class:`~repro.workloads.openloop.OpenLoopSpec` (tenants, arrival
+    processes, skew schedules, warm-up) is canonicalized into the blob,
+    so two cells differing in any workload knob never alias.  ``None``
+    (closed-loop) is likewise omitted.
     """
     fields: Dict[str, object] = {
         "format": FORMAT_VERSION,
@@ -121,6 +128,8 @@ def cell_key(
     }
     if snapshot_at is not None:
         fields["snapshot_at"] = snapshot_at
+    if openloop is not None:
+        fields["openloop"] = _canonical(openloop)
     blob = json.dumps(fields, sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest()
 

@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..analysis.metrics import RunMetrics
 from ..config import Design, SystemConfig
+from ..workloads.openloop import OpenLoopSpec
 from .cache import ResultCache, cell_key, metrics_from_payload, \
     metrics_to_payload
 
@@ -61,6 +62,12 @@ class CellRequest:
     verify: bool = True
     shards: int = 1
     snapshot_at: Optional[int] = None
+    #: An :class:`~repro.workloads.openloop.OpenLoopSpec` switches the
+    #: cell to open-loop request driving via
+    #: :func:`repro.runtime.requests.run_openloop`; the spec is part of
+    #: the cache key, so open-loop cells cache/shard like closed-loop
+    #: ones without ever aliasing them.
+    openloop: Optional[OpenLoopSpec] = None
 
     @property
     def key(self) -> str:
@@ -72,7 +79,7 @@ class CellRequest:
         return cell_key(
             self.app, self.config, self.scale, self.seed, self.verify,
             shards=self.shards, partition=partition,
-            snapshot_at=self.snapshot_at,
+            snapshot_at=self.snapshot_at, openloop=self.openloop,
         )
 
 
@@ -86,6 +93,16 @@ def _execute_cell(request: CellRequest) -> Dict[str, object]:
     from ..apps import make_app
     from ..runtime.runner import run_app
 
+    if request.openloop is not None:
+        from ..runtime.requests import run_openloop
+
+        result = run_openloop(
+            request.app, request.config, request.openloop,
+            scale=request.scale, seed=request.seed, verify=request.verify,
+            shards=request.shards if request.shards > 1 else None,
+            snapshot_at=request.snapshot_at, parallel=False,
+        )
+        return metrics_to_payload(result.metrics)
     if request.shards > 1:
         from ..runtime.shards import run_app_sharded
 

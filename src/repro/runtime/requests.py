@@ -1,0 +1,293 @@
+"""Open-loop request driving: inject requests into a *running* system.
+
+Closed-loop runs (:func:`~repro.runtime.runner.run_app`) seed every task
+up front and report makespan.  This module drives the index apps as
+*services* instead: requests from :func:`repro.workloads.openloop
+.generate_requests` are injected at their arrival cycles into a live
+:class:`~repro.runtime.system.NDPSystem` via the ``start()`` /
+``advance()`` / ``finish()`` split, and each request's birth->completion
+latency is recorded per tenant by an exact
+:class:`~repro.analysis.latency.LatencyRecorder`.
+
+Design notes (all three composition oracles depend on these):
+
+* **The run is held open by a sentinel.**  The tracker finishes a run
+  when the current epoch is quiescent with no future work -- which,
+  open-loop, would happen in the first idle gap between arrivals.
+  ``seed_tasks`` therefore registers one sentinel task at ts=0 that is
+  only completed by the *last* injection event, so quiescence is
+  unreachable until the full stream is in.  This works unchanged for
+  the sharded engine's finish consensus: a shard with an open sentinel
+  reports non-quiescent, so no barrier can finish the run early.
+* **Injection is a chain of simulator events.**  ``_pump`` (a bound
+  method -- snapshot-safe, lint-safe) injects every request of the
+  current cycle through ``system.seed_task`` and schedules itself at
+  the next arrival cycle.  Under the sharded engine every shard runs
+  the identical pump over the identical request list; ``seed_task``
+  already filters non-home seeds, so each request enters exactly once,
+  on its home shard.
+* **The request list is pure data.**  Generated deterministically
+  before the run starts and stored on the app, so snapshot/fork clones
+  carry the stream (and the not-yet-fired pump event) with them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, cast
+
+from ..analysis.latency import LatencyRecorder
+from ..analysis.metrics import collect_metrics
+from ..config import ConfigError, Design, SystemConfig
+from ..workloads.openloop import OpenLoopSpec, Request, generate_requests
+from .runner import RunResult, VerificationError, build_system
+
+if TYPE_CHECKING:  # avoid a circular import; apps build on the runtime
+    from ..apps.base import NDPApplication
+
+__all__ = [
+    "OpenLoopApp",
+    "RequestDriver",
+    "run_openloop",
+]
+
+
+class OpenLoopApp:
+    """Adapter presenting an open-loop request stream as an application.
+
+    Wraps a request-capable index app (``supports_requests``): ``build``
+    delegates to the inner app and installs the completion listener;
+    ``seed_tasks`` schedules the arrival pump instead of seeding tasks.
+    Because it satisfies the same ``attach``/``seed_tasks``/``verify``
+    protocol, every existing harness -- ``run_app``, the sharded
+    replicator, ``run_app_with_snapshot``, exec cells -- drives it
+    unmodified.
+    """
+
+    def __init__(self, inner: "NDPApplication", spec: OpenLoopSpec) -> None:
+        if not getattr(inner, "supports_requests", False):
+            raise ConfigError(
+                f"app {inner.name!r} does not support request mode "
+                "(open-loop driving needs ll, ht or tree)"
+            )
+        self.inner = inner
+        self.spec = spec
+        self.name = f"ol-{inner.name}"
+        self.seed = inner.seed
+        self.recorder = LatencyRecorder()
+        self.completions = 0
+        self._system = None
+        self._requests: List[Request] = []
+        self._next = 0
+
+    # -- application protocol --------------------------------------------
+    def attach(self, system) -> None:
+        self._system = system
+        self.inner.attach(system)
+        self.inner.set_request_listener(self._on_complete)
+        self._requests = generate_requests(
+            self.spec.tenants, self.inner.request_keyspace(), self.seed
+        )
+        self._next = 0
+
+    def seed_tasks(self, system) -> None:
+        # The sentinel: one ts=0 task that only the last pump completes,
+        # holding epoch 0 (and therefore the run) open across idle gaps.
+        # Registered directly on the tracker -- each shard replica needs
+        # its own, and seed_task's home filter must not see it.
+        system.tracker.task_created(0)
+        system.sim.schedule_at(self._requests[0].arrival, self._pump)
+
+    def verify(self) -> bool:
+        if self.completions != len(self._requests):
+            return False
+        spans = 0
+        for req in self._requests:
+            spans += self.inner.request_span(req.rank)
+        return self.inner.request_visits() == spans
+
+    # -- the arrival pump -------------------------------------------------
+    def _pump(self) -> None:
+        system = self._system
+        requests = self._requests
+        now = system.sim.now
+        i = self._next
+        n = len(requests)
+        while i < n and requests[i].arrival == now:
+            req = requests[i]
+            system.seed_task(
+                self.inner.make_request_task(req.rank, req.req_id)
+            )
+            i += 1
+        self._next = i
+        if i < n:
+            system.sim.schedule_at(requests[i].arrival, self._pump)
+        else:
+            # Stream fully injected: release the sentinel.  The injected
+            # tasks are still outstanding, so this cannot finish the run
+            # by itself -- it merely makes quiescence reachable.
+            system.tracker.task_completed(0)
+
+    def _on_complete(self, req_id: int, now: int) -> None:
+        req = self._requests[req_id]
+        self.completions += 1
+        if req.arrival >= self.spec.warmup:
+            self.recorder.record(req.tenant, now - req.arrival)
+
+    # -- result plumbing ---------------------------------------------------
+    def shard_payload(self) -> Dict[str, object]:
+        """Per-shard latency samples, merged by :func:`run_openloop`."""
+        return {
+            "completions": self.completions,
+            "requests": len(self._requests),
+            "last_arrival": (
+                self._requests[-1].arrival if self._requests else 0
+            ),
+            "samples": {
+                tenant: list(samples)
+                for tenant, samples in sorted(self.recorder.samples.items())
+            },
+        }
+
+    def latency_extra(self) -> Dict[str, float]:
+        """The flat ``RunMetrics.extra`` entries for this run."""
+        out = {
+            "ol/requests": float(len(self._requests)),
+            "ol/completed": float(self.completions),
+            "ol/warmup": float(self.spec.warmup),
+            "ol/last_arrival": float(self._requests[-1].arrival),
+        }
+        out.update(self.recorder.summary())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"OpenLoopApp({self.inner.name}, "
+            f"tenants={len(self.spec.tenants)})"
+        )
+
+
+class RequestDriver:
+    """Explicit start/advance/finish control over one open-loop run.
+
+    ``run_openloop`` uses it for the serial path; tests use the split
+    form to pause mid-stream (e.g. to snapshot between arrivals).
+    """
+
+    def __init__(self, app: OpenLoopApp, config: SystemConfig) -> None:
+        self.app = app
+        self.config = config
+        self.system = build_system(config)
+        app.attach(self.system)
+        app.seed_tasks(self.system)
+
+    def start(self) -> "RequestDriver":
+        self.system.start()
+        return self
+
+    def advance(self, until: int) -> "RequestDriver":
+        self.system.advance(until=until)
+        return self
+
+    def finish(self, verify: bool = True) -> RunResult:
+        self.system.finish()
+        if verify and not self.app.verify():
+            raise VerificationError(
+                f"{self.app.name} on design {self.config.design.value}: "
+                f"completed {self.app.completions} of "
+                f"{len(self.app._requests)} requests or span mismatch"
+            )
+        metrics = collect_metrics(self.system, self.app.name)
+        metrics.extra.update(self.app.latency_extra())
+        # OpenLoopApp satisfies the application protocol by duck typing;
+        # the cast papers over the missing nominal base class.
+        return RunResult(app=cast(Any, self.app), system=self.system,
+                         metrics=metrics)
+
+
+def run_openloop(
+    app: str,
+    config: SystemConfig,
+    spec: OpenLoopSpec,
+    *,
+    scale: float = 1.0,
+    seed: int = 1,
+    verify: bool = True,
+    shards: Optional[int] = None,
+    snapshot_at: Optional[int] = None,
+    parallel: Optional[bool] = None,
+) -> RunResult:
+    """Run one open-loop cell; the ``run_app`` twin for request driving.
+
+    Returns a :class:`~repro.runtime.runner.RunResult` whose metrics
+    carry the per-tenant latency report in ``extra`` (flat ``lat/...``
+    keys -- cache- and JSON-safe).  ``shards`` follows ``run_app``
+    semantics (explicit count is strict; ``None`` stays serial);
+    ``snapshot_at`` routes the serial path through the snapshot oracle
+    (pause, snapshot, finish from the restored fork).
+    """
+    if config.design is Design.H:
+        raise ConfigError(
+            "open-loop driving targets the NDP designs (C/B/W/O); "
+            "design H has no request-mode runtime"
+        )
+    from ..apps import make_app
+
+    ol_app = OpenLoopApp(make_app(app, scale=scale, seed=seed), spec)
+
+    if shards is not None and shards > 1:
+        if snapshot_at is not None:
+            raise ValueError(
+                "snapshot_at requires a serial open-loop run (shards=1)"
+            )
+        from .shards import run_app_sharded
+
+        result = run_app_sharded(
+            cast(Any, ol_app), config, seed=seed, shards=shards,
+            verify=False, parallel=parallel,
+        )
+        # Merge each shard's recorder: chains complete on whichever
+        # shard they end on, so the shards hold disjoint sample sets.
+        # result.app is the unattached prototype (no request list), so
+        # stream-level facts come from the payloads -- every shard
+        # generated the identical stream.
+        merged = LatencyRecorder()
+        completions = 0
+        n_requests = 0
+        last_arrival = 0
+        for payload in result.system.payloads:
+            extra = payload.get("app_extra")
+            if not extra:
+                continue
+            completions += int(extra["completions"])
+            n_requests = int(extra["requests"])
+            last_arrival = int(extra["last_arrival"])
+            for tenant, samples in extra["samples"].items():
+                for sample in samples:
+                    merged.record(tenant, int(sample))
+        merged_app: OpenLoopApp = result.app
+        merged_app.recorder = merged
+        merged_app.completions = completions
+        result.metrics.extra.update({
+            "ol/requests": float(n_requests),
+            "ol/completed": float(completions),
+            "ol/warmup": float(spec.warmup),
+            "ol/last_arrival": float(last_arrival),
+        })
+        result.metrics.extra.update(merged.summary())
+        if verify and completions != n_requests:
+            raise VerificationError(
+                f"{merged_app.name} (sharded): completed {completions} of "
+                f"{n_requests} requests"
+            )
+        return result
+
+    if snapshot_at is not None:
+        from ..state.snapshot import run_app_with_snapshot
+
+        forked, _snap = run_app_with_snapshot(
+            ol_app, config, snapshot_at=snapshot_at, verify=verify,
+        )
+        forked.metrics.extra.update(forked.app.latency_extra())
+        return forked
+
+    return RequestDriver(ol_app, config).start().finish(verify=verify)

@@ -378,7 +378,10 @@ class NDPShardRuntime(ShardRuntime):
             busy_critical = 0
         stats = system.stats
         boundary = system.boundary
-        return {
+        # App-specific per-shard results (open-loop latency samples);
+        # None for closed-loop apps keeps the payload format unchanged.
+        app_extra = self.app.shard_payload()
+        payload: Dict[str, object] = {
             "shard": self.shard_id,
             "n_units": len(units),
             "makespan": makespan,
@@ -410,6 +413,9 @@ class NDPShardRuntime(ShardRuntime):
             "seeds_skipped": boundary.seeds_skipped,
             "verified": self._verified,
         }
+        if app_extra is not None:
+            payload["app_extra"] = app_extra
+        return payload
 
     # -- internals -------------------------------------------------------
     def _report(self) -> ShardReport:

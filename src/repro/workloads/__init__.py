@@ -3,8 +3,17 @@
 from .datasets import REGISTRY, DatasetSpec, dataset_names, load_dataset
 from .graphs import Graph, chain_graph, rmat_graph, uniform_graph
 from .matrices import SparseMatrix, banded_matrix, powerlaw_matrix
+from .openloop import (
+    BurstyArrivals,
+    OpenLoopSpec,
+    PoissonArrivals,
+    Request,
+    SkewSchedule,
+    TenantSpec,
+    generate_requests,
+)
 from .trees import BinaryTree, balanced_bst, random_bst
-from .zipf import ZipfGenerator, shuffled_identity
+from .zipf import ZipfGenerator, ZipfSampler, shuffled_identity
 
 __all__ = [
     "REGISTRY",
@@ -22,5 +31,13 @@ __all__ = [
     "balanced_bst",
     "random_bst",
     "ZipfGenerator",
+    "ZipfSampler",
     "shuffled_identity",
+    "BurstyArrivals",
+    "PoissonArrivals",
+    "OpenLoopSpec",
+    "Request",
+    "SkewSchedule",
+    "TenantSpec",
+    "generate_requests",
 ]

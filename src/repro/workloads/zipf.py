@@ -8,9 +8,28 @@ uniform; the paper-style skewed workloads use ``s`` around 0.8-1.2.
 from __future__ import annotations
 
 import bisect
-from typing import List
+from typing import Dict, List
 
 from ..sim import DeterministicRNG
+
+
+def zipf_cdf(n: int, skew: float) -> List[float]:
+    """The CDF of Zipf(``skew``) over ranks ``0..n-1`` (shared by both
+    samplers so a :class:`ZipfSampler` at a fixed skew draws exactly the
+    sequence a :class:`ZipfGenerator` would)."""
+    if n <= 0:
+        raise ValueError("population size must be positive")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    weights = [1.0 / ((k + 1) ** skew) for k in range(n)]
+    total = sum(weights)
+    cdf: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    cdf[-1] = 1.0
+    return cdf
 
 
 class ZipfGenerator:
@@ -24,15 +43,7 @@ class ZipfGenerator:
         self.n = n
         self.skew = skew
         self.rng = rng
-        weights = [1.0 / ((k + 1) ** skew) for k in range(n)]
-        total = sum(weights)
-        cdf: List[float] = []
-        acc = 0.0
-        for w in weights:
-            acc += w / total
-            cdf.append(acc)
-        cdf[-1] = 1.0
-        self._cdf = cdf
+        self._cdf = zipf_cdf(n, skew)
 
     def sample(self) -> int:
         """One Zipf-distributed rank in ``[0, n)`` (0 is the hottest)."""
@@ -46,6 +57,42 @@ class ZipfGenerator:
             raise IndexError(f"rank {rank} out of range")
         lo = self._cdf[rank - 1] if rank > 0 else 0.0
         return self._cdf[rank] - lo
+
+
+class ZipfSampler:
+    """Skew-switchable Zipf sampler over ``[0, n)``.
+
+    Unlike :class:`ZipfGenerator` (one fixed skew for a whole run), the
+    open-loop driver shifts skew mid-stream on a schedule; this sampler
+    accepts the skew per draw and caches one CDF per distinct skew so a
+    piecewise schedule costs one CDF build per segment, not per request.
+    """
+
+    def __init__(self, n: int, rng: DeterministicRNG):
+        if n <= 0:
+            raise ValueError("population size must be positive")
+        self.n = n
+        self.rng = rng
+        self._cdfs: Dict[float, List[float]] = {}
+
+    def _cdf(self, skew: float) -> List[float]:
+        key = float(skew)
+        cdf = self._cdfs.get(key)
+        if cdf is None:
+            cdf = zipf_cdf(self.n, key)
+            self._cdfs[key] = cdf
+        return cdf
+
+    def sample(self, skew: float) -> int:
+        """One Zipf(``skew``)-distributed rank in ``[0, n)``."""
+        return bisect.bisect_left(self._cdf(skew), self.rng.random())
+
+    def probability(self, rank: int, skew: float) -> float:
+        if not 0 <= rank < self.n:
+            raise IndexError(f"rank {rank} out of range")
+        cdf = self._cdf(skew)
+        lo = cdf[rank - 1] if rank > 0 else 0.0
+        return cdf[rank] - lo
 
 
 def shuffled_identity(n: int, rng: DeterministicRNG) -> List[int]:

@@ -1,0 +1,134 @@
+"""Golden regression tests: exact pinned results for a small matrix.
+
+The simulator is deterministic by contract, so these are equality tests,
+not tolerances: any diff in makespan, task count, or a latency tail on
+the (app x design) matrix below means the *model changed*.  If the
+change is intentional, regenerate the tables and review the diff like
+any other golden update:
+
+    PYTHONPATH=src python tests/test_golden.py
+
+prints freshly computed ``CLOSED``/``OPENLOOP`` dicts to paste over the
+ones in this file.
+"""
+
+import pytest
+
+from repro import make_app, run_app
+from repro.config import Design, tiny_config
+from repro.runtime.requests import run_openloop
+from repro.workloads.openloop import OpenLoopSpec, TenantSpec
+
+APPS = ("ll", "ht", "tree")
+DESIGNS = (Design.C, Design.B, Design.W, Design.O)
+SCALE = 0.05
+SEED = 7
+
+REGEN = ("run `PYTHONPATH=src python tests/test_golden.py` and paste "
+         "the printed tables over the goldens if the change is intended")
+
+#: Closed-loop goldens: (makespan, tasks_executed, task_messages).
+CLOSED = {
+    ("ll", "C"): (80342, 8766, 0),
+    ("ll", "B"): (80342, 8766, 0),
+    ("ll", "W"): (52945, 8766, 1167),
+    ("ll", "O"): (71944, 8766, 90),
+    ("ht", "C"): (7324, 499, 0),
+    ("ht", "B"): (7324, 499, 0),
+    ("ht", "W"): (7769, 499, 14),
+    ("ht", "O"): (6542, 499, 10),
+    ("tree", "C"): (28281, 671, 369),
+    ("tree", "B"): (8865, 671, 369),
+    ("tree", "W"): (11577, 671, 384),
+    ("tree", "O"): (8866, 671, 369),
+}
+
+#: Open-loop goldens: (makespan, tenant-a p99, tenant-b p99).
+OPENLOOP = {
+    ("ll", "C"): (44777, 42075, 42099),
+    ("ll", "B"): (44777, 42075, 42099),
+    ("ll", "W"): (37354, 34560, 34500),
+    ("ll", "O"): (44777, 42075, 42099),
+    ("ht", "C"): (4473, 2024, 1821),
+    ("ht", "B"): (4473, 2024, 1821),
+    ("ht", "W"): (6175, 3053, 3233),
+    ("ht", "O"): (4473, 2024, 1733),
+    ("tree", "C"): (26312, 23667, 23369),
+    ("tree", "B"): (9485, 6044, 6462),
+    ("tree", "W"): (10949, 7668, 7134),
+    ("tree", "O"): (8984, 5884, 6516),
+}
+
+
+def golden_spec() -> OpenLoopSpec:
+    return OpenLoopSpec(
+        tenants=(
+            TenantSpec(name="a", n_requests=60, mean_gap=60.0,
+                       skew=((0, 0.6), (1500, 1.2))),
+            TenantSpec(name="b", n_requests=40, mean_gap=90.0,
+                       arrival="bursty", burst_gap=15.0,
+                       skew=((0, 1.0),)),
+        ),
+        warmup=400,
+    )
+
+
+def closed_result(app: str, design: Design):
+    m = run_app(make_app(app, scale=SCALE, seed=SEED),
+                tiny_config(design)).metrics
+    return (m.makespan, m.tasks_executed, m.task_messages)
+
+
+def openloop_result(app: str, design: Design):
+    r = run_openloop(app, tiny_config(design), golden_spec(),
+                     scale=SCALE, seed=SEED)
+    e = r.metrics.extra
+    return (r.metrics.makespan, int(e["lat/a/p990"]),
+            int(e["lat/b/p990"]))
+
+
+@pytest.mark.parametrize("app", APPS)
+@pytest.mark.parametrize("design", DESIGNS)
+def test_closed_loop_golden(app, design):
+    got = closed_result(app, design)
+    want = CLOSED[(app, design.value)]
+    assert got == want, (
+        f"{app}/{design.value}: (makespan, tasks, task_msgs) {got} != "
+        f"golden {want} -- the model changed; {REGEN}"
+    )
+
+
+@pytest.mark.parametrize("app", APPS)
+@pytest.mark.parametrize("design", DESIGNS)
+def test_openloop_golden(app, design):
+    got = openloop_result(app, design)
+    want = OPENLOOP[(app, design.value)]
+    assert got == want, (
+        f"{app}/{design.value}: (makespan, p99_a, p99_b) {got} != "
+        f"golden {want} -- the model changed; {REGEN}"
+    )
+
+
+def test_golden_matrix_is_complete():
+    keys = {(a, d.value) for a in APPS for d in DESIGNS}
+    assert set(CLOSED) == keys
+    assert set(OPENLOOP) == keys
+
+
+def _regenerate() -> None:  # pragma: no cover - manual tool
+    print("CLOSED = {")
+    for app in APPS:
+        for design in DESIGNS:
+            print(f'    ("{app}", "{design.value}"): '
+                  f'{closed_result(app, design)},')
+    print("}")
+    print("OPENLOOP = {")
+    for app in APPS:
+        for design in DESIGNS:
+            print(f'    ("{app}", "{design.value}"): '
+                  f'{openloop_result(app, design)},')
+    print("}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

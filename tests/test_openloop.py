@@ -1,0 +1,456 @@
+"""Open-loop workload + driver tests.
+
+Four layers:
+
+* statistical goodness-of-fit for the generators (chi-square against the
+  exact Zipf / exponential models -- deterministic seeds, so the
+  statistics are reproducible numbers, not flaky draws),
+* determinism and stream-independence of request generation,
+* exact nearest-rank percentile semantics (edge cases pinned bit-for-bit),
+* the request driver end-to-end, including the composition oracles:
+  plain vs sanitized, serial vs sharded, snapshot-fork vs run-through.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.analysis.latency import (
+    REPORT_PERMILLES,
+    LatencyRecorder,
+    exact_percentile,
+)
+from repro.apps import make_app
+from repro.config import ConfigError, Design, scaled_config, tiny_config
+from repro.runtime.requests import OpenLoopApp, RequestDriver, run_openloop
+from repro.sim import DeterministicRNG
+from repro.workloads import (
+    BurstyArrivals,
+    OpenLoopSpec,
+    PoissonArrivals,
+    SkewSchedule,
+    TenantSpec,
+    ZipfSampler,
+    generate_requests,
+)
+from repro.workloads.zipf import ZipfGenerator, zipf_cdf
+
+
+def chi_square(observed, expected):
+    """Pearson's chi-square statistic over matched count lists."""
+    assert len(observed) == len(expected)
+    return sum((o - e) ** 2 / e for o, e in zip(observed, expected))
+
+
+# ----------------------------------------------------------------------
+# goodness of fit: ZipfSampler
+# ----------------------------------------------------------------------
+class TestZipfSamplerFit:
+    def test_chi_square_matches_zipf_pmf(self):
+        # 30 ranks x 6000 draws: every expected bin count is >= ~40, the
+        # classic chi-square validity regime.  df = 29; the 0.1% critical
+        # value is 58.3 -- a deterministic seed makes this a regression
+        # number, the statistical margin just keeps it meaningful.
+        n, draws, skew = 30, 6000, 0.8
+        sampler = ZipfSampler(n, DeterministicRNG(11, "gof"))
+        counts = [0] * n
+        for _ in range(draws):
+            counts[sampler.sample(skew)] += 1
+        expected = [draws * sampler.probability(k, skew) for k in range(n)]
+        assert chi_square(counts, expected) < 58.3
+
+    def test_matches_fixed_skew_generator_exactly(self):
+        # At a constant skew the switchable sampler must draw the exact
+        # sequence ZipfGenerator draws from the same stream (shared CDF).
+        a = ZipfSampler(64, DeterministicRNG(3, "z"))
+        b = ZipfGenerator(64, 1.1, DeterministicRNG(3, "z"))
+        assert [a.sample(1.1) for _ in range(200)] == b.sample_many(200)
+
+    def test_skew_switch_moves_mass(self):
+        sampler = ZipfSampler(100, DeterministicRNG(5, "z"))
+        flat = sum(1 for _ in range(2000) if sampler.sample(0.0) < 10)
+        hot = sum(1 for _ in range(2000) if sampler.sample(1.2) < 10)
+        assert flat < 300  # ~10% uniform
+        assert hot > 900  # heavy head
+
+    def test_probability_sums_to_one(self):
+        sampler = ZipfSampler(40, DeterministicRNG(1, "z"))
+        for skew in (0.0, 0.9, 1.3):
+            total = sum(sampler.probability(k, skew) for k in range(40))
+            assert total == pytest.approx(1.0)
+
+    def test_cdf_validation(self):
+        with pytest.raises(ValueError):
+            zipf_cdf(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_cdf(10, -0.1)
+
+
+# ----------------------------------------------------------------------
+# goodness of fit: arrival processes
+# ----------------------------------------------------------------------
+class TestArrivalFit:
+    def test_poisson_mean_gap(self):
+        arr = PoissonArrivals(80.0, DeterministicRNG(7, "arr"))
+        gaps = [arr.next_gap() for _ in range(4000)]
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(80.0, rel=0.05)
+
+    def test_poisson_chi_square_exponential_quartiles(self):
+        # Bin the gaps at the exact exponential quartiles.  df = 3; the
+        # 0.1% critical value is 16.3.  Integer rounding of the gaps
+        # shifts a handful of edge samples -- far inside the margin.
+        mean_gap, draws = 80.0, 4000
+        arr = PoissonArrivals(mean_gap, DeterministicRNG(7, "gof"))
+        edges = [-mean_gap * math.log(1 - q) for q in (0.25, 0.5, 0.75)]
+        counts = [0] * 4
+        for _ in range(draws):
+            gap = arr.next_gap()
+            bin_ = sum(1 for e in edges if gap > e)
+            counts[bin_] += 1
+        assert chi_square(counts, [draws / 4] * 4) < 16.3
+
+    def test_gap_floor_is_one_cycle(self):
+        arr = PoissonArrivals(0.01, DeterministicRNG(1, "arr"))
+        assert all(arr.next_gap() == 1 for _ in range(100))
+
+    def test_bursty_is_overdispersed(self):
+        # MMPP-2 visits both states and its gap variance exceeds the
+        # exponential's (squared CV > 1): that *is* burstiness.
+        arr = BurstyArrivals(
+            100.0, 10.0, DeterministicRNG(9, "arr"),
+            calm_switch=0.1, burst_switch=0.3,
+        )
+        gaps, states = [], set()
+        for _ in range(4000):
+            gaps.append(arr.next_gap())
+            states.add(arr.bursting)
+        assert states == {True, False}
+        mean = sum(gaps) / len(gaps)
+        # Stationary mix: 25% bursting -> E[gap] ~ 0.75*100 + 0.25*10.
+        assert mean == pytest.approx(77.5, rel=0.1)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        assert var / mean**2 > 1.2
+
+    def test_validation(self):
+        rng = DeterministicRNG(1, "a")
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0, rng)
+        with pytest.raises(ValueError):
+            BurstyArrivals(10.0, 0.0, rng)
+        with pytest.raises(ValueError):
+            BurstyArrivals(10.0, 5.0, rng, calm_switch=1.5)
+
+
+# ----------------------------------------------------------------------
+# skew schedules
+# ----------------------------------------------------------------------
+class TestSkewSchedule:
+    def test_piecewise_lookup(self):
+        s = SkewSchedule([(0, 0.5), (100, 1.0), (200, 0.2)])
+        assert s.skew_at(0) == 0.5
+        assert s.skew_at(99) == 0.5
+        assert s.skew_at(100) == 1.0
+        assert s.skew_at(10_000) == 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SkewSchedule([])
+        with pytest.raises(ValueError):
+            SkewSchedule([(10, 0.5)])  # must start at 0
+        with pytest.raises(ValueError):
+            SkewSchedule([(0, 0.5), (0, 1.0)])  # strictly increasing
+
+    def test_tenant_spec_validates_eagerly(self):
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", n_requests=10, mean_gap=5.0,
+                       skew=((5, 1.0),))
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", n_requests=0, mean_gap=5.0)
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", n_requests=10, mean_gap=5.0,
+                       arrival="weird")
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", n_requests=10, mean_gap=5.0,
+                       arrival="bursty")  # burst_gap missing
+        with pytest.raises(ValueError):
+            OpenLoopSpec(tenants=())
+        with pytest.raises(ValueError):
+            OpenLoopSpec(
+                tenants=(TenantSpec(name="t", n_requests=1, mean_gap=1.0),),
+                warmup=-1,
+            )
+
+
+# ----------------------------------------------------------------------
+# request generation: determinism and stream independence
+# ----------------------------------------------------------------------
+TENANTS = (
+    TenantSpec(name="a", n_requests=200, mean_gap=30.0,
+               skew=((0, 0.6), (2000, 1.2))),
+    TenantSpec(name="b", n_requests=120, mean_gap=50.0, arrival="bursty",
+               burst_gap=8.0, skew=((0, 1.0),)),
+)
+
+
+class TestGenerateRequests:
+    def test_same_seed_identical_stream(self):
+        assert generate_requests(TENANTS, 64, 5) == \
+            generate_requests(TENANTS, 64, 5)
+
+    def test_different_seed_different_stream(self):
+        assert generate_requests(TENANTS, 64, 5) != \
+            generate_requests(TENANTS, 64, 6)
+
+    def test_req_ids_are_injection_order(self):
+        reqs = generate_requests(TENANTS, 64, 5)
+        assert [r.req_id for r in reqs] == list(range(len(reqs)))
+        assert all(a.arrival <= b.arrival
+                   for a, b in zip(reqs, reqs[1:]))
+
+    def test_skew_schedule_never_perturbs_arrivals(self):
+        # Arrival gaps and key draws use separate named substreams:
+        # changing the skew schedule must leave arrival times untouched.
+        shifted = generate_requests(TENANTS, 64, 5)
+        flat_tenants = (
+            dataclasses.replace(TENANTS[0], skew=((0, 0.0),)),
+            TENANTS[1],
+        )
+        flat = generate_requests(flat_tenants, 64, 5)
+        assert [r.arrival for r in shifted] == [r.arrival for r in flat]
+        assert [r.rank for r in shifted if r.tenant == "a"] != \
+            [r.rank for r in flat if r.tenant == "a"]
+
+    def test_tenants_draw_independent_streams(self):
+        # Substreams are keyed by tenant name, so dropping tenant "b"
+        # must not move a single one of tenant "a"'s requests.
+        both = generate_requests(TENANTS, 64, 5)
+        alone = generate_requests(TENANTS[:1], 64, 5)
+        a_both = [(r.arrival, r.rank) for r in both if r.tenant == "a"]
+        a_alone = [(r.arrival, r.rank) for r in alone]
+        assert a_both == a_alone
+
+    def test_duplicate_tenant_names_rejected(self):
+        dup = (TENANTS[0], dataclasses.replace(TENANTS[1], name="a"))
+        with pytest.raises(ValueError, match="unique"):
+            generate_requests(dup, 64, 5)
+        with pytest.raises(ValueError):
+            generate_requests((), 64, 5)
+
+    def test_start_offset_shifts_first_arrival(self):
+        spec = TenantSpec(name="t", n_requests=5, mean_gap=10.0, start=500)
+        reqs = generate_requests((spec,), 16, 1)
+        assert reqs[0].arrival > 500
+
+
+# ----------------------------------------------------------------------
+# exact percentiles: edge cases pinned bit-for-bit
+# ----------------------------------------------------------------------
+class TestExactPercentile:
+    def test_empty_raises_like_geomean(self):
+        with pytest.raises(ValueError, match="empty"):
+            exact_percentile([], 500)
+
+    def test_permille_range_checked(self):
+        with pytest.raises(ValueError, match="out of range"):
+            exact_percentile([1], -1)
+        with pytest.raises(ValueError, match="out of range"):
+            exact_percentile([1], 1001)
+
+    def test_single_sample_every_permille(self):
+        for pm in (0, 1, 500, 990, 999, 1000):
+            assert exact_percentile([42], pm) == 42
+
+    def test_nearest_rank_semantics_pinned(self):
+        # ceil(permille * n / 1000) over n=4 sorted samples: the exact
+        # nearest-rank table, pinned value by value.
+        s = [40, 10, 30, 20]  # unsorted on purpose
+        assert exact_percentile(s, 0) == 10
+        assert exact_percentile(s, 125) == 10  # ceil(0.5) = 1
+        assert exact_percentile(s, 250) == 10
+        assert exact_percentile(s, 251) == 20  # ceil(1.004) = 2
+        assert exact_percentile(s, 500) == 20
+        assert exact_percentile(s, 750) == 30
+        assert exact_percentile(s, 751) == 40
+        assert exact_percentile(s, 990) == 40
+        assert exact_percentile(s, 999) == 40
+        assert exact_percentile(s, 1000) == 40
+
+    def test_ties_are_stable(self):
+        assert exact_percentile([7, 7, 7, 7, 7], 500) == 7
+        assert exact_percentile([1, 7, 7, 7, 9], 500) == 7
+        assert exact_percentile([1, 7, 7, 7, 9], 990) == 9
+
+    def test_p1000_is_max_p0_is_min(self):
+        s = list(range(100, 0, -1))
+        assert exact_percentile(s, 1000) == 100
+        assert exact_percentile(s, 0) == 1
+
+
+class TestLatencyRecorder:
+    def test_negative_latency_rejected(self):
+        r = LatencyRecorder()
+        with pytest.raises(ValueError, match="negative"):
+            r.record("t", -1)
+
+    def test_unknown_tenant_raises(self):
+        r = LatencyRecorder()
+        with pytest.raises(ValueError, match="no samples"):
+            r.percentile("ghost", 500)
+        with pytest.raises(ValueError, match="no samples"):
+            r.mean_latency("ghost")
+
+    def test_merge_is_order_insensitive(self):
+        a, b = LatencyRecorder(), LatencyRecorder()
+        for i in range(10):
+            (a if i % 2 else b).record("t", i)
+        ab, ba = LatencyRecorder(), LatencyRecorder()
+        ab.merge(a), ab.merge(b)
+        ba.merge(b), ba.merge(a)
+        for pm in REPORT_PERMILLES:
+            assert ab.percentile("t", pm) == ba.percentile("t", pm)
+        assert ab.count("t") == 10
+
+    def test_summary_shape(self):
+        r = LatencyRecorder()
+        r.record("b", 5)
+        r.record("a", 3)
+        s = r.summary()
+        assert set(s) == {
+            f"lat/{t}/{k}"
+            for t in ("a", "b")
+            for k in ("count", "mean", "max", "p500", "p990", "p999")
+        }
+        assert s["lat/a/p500"] == 3.0
+        assert all(isinstance(v, float) for v in s.values())
+
+
+# ----------------------------------------------------------------------
+# the driver end-to-end (tiny configs -- fast)
+# ----------------------------------------------------------------------
+def small_spec(warmup: int = 400) -> OpenLoopSpec:
+    return OpenLoopSpec(
+        tenants=(
+            TenantSpec(name="a", n_requests=60, mean_gap=60.0,
+                       skew=((0, 0.6), (1500, 1.2))),
+            TenantSpec(name="b", n_requests=40, mean_gap=90.0,
+                       arrival="bursty", burst_gap=15.0,
+                       skew=((0, 1.0),)),
+        ),
+        warmup=warmup,
+    )
+
+
+class TestRequestDriver:
+    def test_openloop_run_completes_stream(self):
+        result = run_openloop(
+            "ll", tiny_config(Design.O), small_spec(),
+            scale=0.05, seed=7,
+        )
+        extra = result.metrics.extra
+        assert extra["ol/completed"] == extra["ol/requests"] == 100.0
+        assert result.metrics.makespan > extra["ol/last_arrival"]
+        assert extra["lat/a/p500"] >= 1.0
+        assert extra["lat/a/p500"] <= extra["lat/a/p990"] \
+            <= extra["lat/a/p999"] <= extra["lat/a/max"]
+
+    def test_warmup_excludes_early_arrivals(self):
+        cold = run_openloop("ll", tiny_config(Design.O),
+                            small_spec(warmup=0), scale=0.05, seed=7)
+        warm = run_openloop("ll", tiny_config(Design.O),
+                            small_spec(warmup=2000), scale=0.05, seed=7)
+        n_cold = cold.metrics.extra["lat/a/count"] + \
+            cold.metrics.extra["lat/b/count"]
+        n_warm = warm.metrics.extra["lat/a/count"] + \
+            warm.metrics.extra["lat/b/count"]
+        assert n_cold == 100.0
+        assert n_warm < n_cold  # early arrivals ran but went unrecorded
+        assert warm.metrics.extra["ol/completed"] == 100.0
+
+    def test_all_request_apps_drive(self):
+        for name in ("ll", "ht", "tree"):
+            result = run_openloop(
+                name, tiny_config(Design.B), small_spec(),
+                scale=0.05, seed=7,
+            )
+            assert result.metrics.extra["ol/completed"] == 100.0
+
+    def test_non_request_app_rejected(self):
+        with pytest.raises(ConfigError, match="request mode"):
+            OpenLoopApp(make_app("spmv", scale=0.05, seed=7), small_spec())
+
+    def test_design_h_rejected(self):
+        with pytest.raises(ConfigError, match="design H"):
+            run_openloop("ll", tiny_config(Design.H), small_spec(),
+                         scale=0.05, seed=7)
+
+    def test_split_advance_equals_straight_run(self):
+        # Pausing mid-stream is observation only: a run advanced in two
+        # halves must be bit-identical to one driven straight through.
+        cfg = tiny_config(Design.O)
+        straight = run_openloop("ll", cfg, small_spec(), scale=0.05,
+                                seed=7)
+        app = OpenLoopApp(make_app("ll", scale=0.05, seed=7), small_spec())
+        split = RequestDriver(app, cfg).start().advance(until=2500) \
+            .finish()
+        assert dataclasses.asdict(split.metrics) == \
+            dataclasses.asdict(straight.metrics)
+
+
+# ----------------------------------------------------------------------
+# composition oracles: sanitize / shards / snapshot
+# ----------------------------------------------------------------------
+class TestOpenLoopComposition:
+    def test_plain_vs_sanitized_bit_identical(self, monkeypatch):
+        monkeypatch.delenv("NDPBRIDGE_SANITIZE", raising=False)
+        plain = run_openloop("ht", tiny_config(Design.O), small_spec(),
+                             scale=0.05, seed=7)
+        assert plain.system.sim.sanitize is False
+        monkeypatch.setenv("NDPBRIDGE_SANITIZE", "1")
+        sanitized = run_openloop("ht", tiny_config(Design.O), small_spec(),
+                                 scale=0.05, seed=7)
+        assert sanitized.system.sim.sanitize is True
+        assert dataclasses.asdict(plain.metrics) == \
+            dataclasses.asdict(sanitized.metrics)
+
+    def test_serial_vs_sharded_bit_identical(self):
+        # Design C is communication-free for ll, so the sharded engine
+        # simulates the *same machine* and every latency sample -- and
+        # the makespan -- must match the serial run exactly.
+        cfg = scaled_config(128, Design.C)
+        serial = run_openloop("ll", cfg, small_spec(), scale=0.1, seed=7)
+        sharded = run_openloop("ll", cfg, small_spec(), scale=0.1, seed=7,
+                               shards=2)
+        se, he = serial.metrics.extra, sharded.metrics.extra
+        assert serial.metrics.makespan == sharded.metrics.makespan
+        assert serial.metrics.tasks_executed == \
+            sharded.metrics.tasks_executed
+        for key in sorted(se):
+            if key.startswith(("lat/", "ol/")):
+                assert se[key] == he[key], key
+
+    def test_sharded_inline_vs_forked_identical(self):
+        cfg = scaled_config(128, Design.C)
+        inline = run_openloop("ll", cfg, small_spec(), scale=0.1, seed=7,
+                              shards=2, parallel=False)
+        forked = run_openloop("ll", cfg, small_spec(), scale=0.1, seed=7,
+                              shards=2, parallel=True)
+        assert dataclasses.asdict(inline.metrics) == \
+            dataclasses.asdict(forked.metrics)
+
+    def test_snapshot_fork_vs_run_through_bit_identical(self):
+        # Snapshot mid-stream (arrival pump event in flight), restore,
+        # finish from the fork: the fork must land on the exact run.
+        cfg = tiny_config(Design.O)
+        through = run_openloop("tree", cfg, small_spec(), scale=0.05,
+                               seed=7)
+        forked = run_openloop("tree", cfg, small_spec(), scale=0.05,
+                              seed=7, snapshot_at=2500)
+        assert dataclasses.asdict(through.metrics) == \
+            dataclasses.asdict(forked.metrics)
+
+    def test_sharded_rejects_snapshot_at(self):
+        with pytest.raises(ValueError, match="serial"):
+            run_openloop("ll", scaled_config(128, Design.C), small_spec(),
+                         scale=0.1, seed=7, shards=2, snapshot_at=100)
