@@ -10,8 +10,9 @@ the repo root.
 Speedups are *recorded, never asserted*: CI runners are frequently
 core-limited (a single-core box pays the fork/barrier overhead with no
 concurrency to show for it), so the JSON notes ``cpu_count`` next to
-every measurement and the numbers speak for themselves on real
-hardware.
+every measurement, and rows measured with fewer cores than shards carry
+``"meaningful": false`` -- the wall-clock is real, but the speedup
+ratio says nothing about the engine and downstream plots should skip it.
 
 ``NDPBRIDGE_BENCH_SMOKE=1`` shrinks the matrix for CI (128 units,
 shards 1/2); smoke results are recorded under separate keys.
@@ -104,7 +105,15 @@ def test_sharded_scaling_curve():
                 if base_wall and row["wall_s"] > 0
                 else None
             )
+            # A speedup measured with fewer cores than shards is noise:
+            # the workers time-slice one core and the row reads as a
+            # slowdown of the engine rather than of the machine.  Keep
+            # the wall-clock (it is still a real measurement) but mark
+            # the ratio as not meaningful so downstream plots skip it.
+            row["meaningful"] = shards <= cpu_count
             curve.append(row)
+            note = "" if row["meaningful"] else " [not meaningful:" \
+                f" {cpu_count} cpu(s) < {shards} shards]"
             print(
                 f"\nsharded: {units:5d} units x {shards} shards -> "
                 f"{row['wall_s']:.3f}s"
@@ -113,6 +122,7 @@ def test_sharded_scaling_curve():
                     if row["speedup"] is not None
                     else ""
                 )
+                + note
             )
     record_sharded(_suffix("sharded_scaling"), {
         "app": APP,

@@ -37,6 +37,42 @@ from ..energy import EnergyBreakdown
 #: Bump to invalidate caches when the serialization format changes.
 FORMAT_VERSION = 1
 
+#: Every field :func:`cell_key` can put into the key blob.  The simrace
+#: fingerprint registry (:mod:`repro.race.fingerprints`) declares which
+#: environment knobs influence results and which cache-key field carries
+#: each one; the cross-check below fails at import time if a knob claims
+#: a field this module does not actually hash, closing the gap that let
+#: ``NDPBRIDGE_SHARDS`` poison the cache before it became a key field.
+CELL_KEY_FIELDS = (
+    "format",
+    "app",
+    "design",
+    "config",
+    "scale",
+    "seed",
+    "verify",
+    "shards",
+    "partition",
+    "code",
+    "snapshot_at",
+    "openloop",
+)
+
+
+def _check_fingerprint_registry() -> None:
+    from ..race.fingerprints import fingerprint_field_of
+
+    for knob, field in fingerprint_field_of().items():
+        if field not in CELL_KEY_FIELDS:
+            raise RuntimeError(
+                f"environment knob {knob} declares cache-key field "
+                f"{field!r}, but cell_key() does not hash such a field "
+                f"-- result caching would ignore the knob"
+            )
+
+
+_check_fingerprint_registry()
+
 _code_version: Optional[str] = None
 
 

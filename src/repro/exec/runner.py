@@ -19,6 +19,12 @@ Environment knobs:
   ``1`` forces the serial in-process path),
 * ``NDPBRIDGE_CACHE_DIR`` / ``NDPBRIDGE_CACHE=0`` -- see
   :mod:`repro.exec.cache`.
+
+Every knob read here is declared in the simrace fingerprint registry
+(:mod:`repro.race.fingerprints`): knobs that influence results must map
+onto a cache-key field, and pure execution knobs (like these) carry a
+justification for why they cannot change a cached value.  The RC003
+analyzer rule flags any ``os.environ`` read missing from the registry.
 """
 
 from __future__ import annotations

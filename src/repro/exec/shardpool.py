@@ -15,6 +15,13 @@ Commands are broadcast: the parent sends to *all* workers first, then
 collects replies in shard order -- windows genuinely overlap across
 cores, and reply order (hence result order) is deterministic regardless
 of which worker finishes first.
+
+Under ``NDPBRIDGE_SANITIZE=1`` every pipe additionally carries a
+:class:`~repro.race.ledger.BoundaryLedger` on *both* ends: running
+sha256 digests over a canonical encoding of each command and reply.  At
+shutdown the worker ships its digests back and the parent cross-checks
+them, proving both sides observed identical payload streams (the
+runtime half of the simrace analyzer's process-boundary contract).
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ if TYPE_CHECKING:
     from multiprocessing.connection import Connection
     from multiprocessing.process import BaseProcess
 
+    from ..race.ledger import BoundaryLedger
     from ..sim.sharded import (
         BoundaryMessage,
         ControlDecision,
@@ -43,40 +51,59 @@ class ShardWorkerError(RuntimeError):
 
 
 def _worker_main(
-    conn: "Connection", build: "Callable[[], ShardRuntime]"
+    conn: "Connection",
+    build: "Callable[[], ShardRuntime]",
+    ledger_on: bool,
 ) -> None:
     """Worker loop: build the runtime, then serve barrier commands."""
+    ledger: "Optional[BoundaryLedger]" = None
+    if ledger_on:
+        from ..race.ledger import BoundaryLedger
+
+        ledger = BoundaryLedger()
+
+    def send(reply: object) -> None:
+        if ledger is not None:
+            ledger.note_sent(reply)
+        conn.send(reply)
+
     runtime: "Optional[ShardRuntime]" = None
     try:
         runtime = build()
     except BaseException:
-        conn.send(("err", traceback.format_exc()))
+        send(("err", traceback.format_exc()))
         conn.close()
         return
-    conn.send(("ok", None))
+    send(("ok", None))
     while True:
         try:
             command = conn.recv()
         except EOFError:
             break
+        if ledger is not None:
+            ledger.note_received(command)
         op = command[0]
         try:
             if op == "begin":
-                conn.send(("ok", runtime.begin()))
+                send(("ok", runtime.begin()))
             elif op == "window":
-                conn.send(("ok", runtime.run_window(command[1], command[2])))
+                send(("ok", runtime.run_window(command[1], command[2])))
             elif op == "control":
-                conn.send(("ok", runtime.apply_control(command[1])))
+                send(("ok", runtime.apply_control(command[1])))
             elif op == "complete":
-                conn.send(("ok", runtime.run_complete()))
+                send(("ok", runtime.run_complete()))
             elif op == "finalize":
-                conn.send(("ok", runtime.finalize()))
+                send(("ok", runtime.finalize()))
             elif op == "exit":
+                if ledger is not None:
+                    # The ledger handshake itself stays outside both
+                    # ledgers (it carries the digests being compared).
+                    conn.send(("ledger", ledger.digests()))
                 break
             else:  # pragma: no cover - protocol bug
-                conn.send(("err", f"unknown shard worker op {op!r}"))
+                send(("err", f"unknown shard worker op {op!r}"))
         except BaseException:
-            conn.send(("err", traceback.format_exc()))
+            send(("err", traceback.format_exc()))
     conn.close()
 
 
@@ -94,14 +121,25 @@ class ForkTransport:
     Implements the same broadcast interface as the inline transport in
     :mod:`repro.sim.sharded`, so the sharded engine can swap transports
     without changing the barrier protocol.
+
+    ``ledger`` forces the boundary hash ledger on (``True``) or off
+    (``False``); the default (``None``) follows ``NDPBRIDGE_SANITIZE``.
     """
 
     def __init__(
-        self, builders: "Sequence[Callable[[], ShardRuntime]]"
+        self,
+        builders: "Sequence[Callable[[], ShardRuntime]]",
+        ledger: Optional[bool] = None,
     ) -> None:
+        if ledger is None:
+            from ..sim.engine import sanitize_from_env
+
+            ledger = sanitize_from_env()
         self._builders = list(builders)
+        self._ledger_on = bool(ledger)
         self._procs: "List[BaseProcess]" = []
         self._conns: "List[Connection]" = []
+        self._ledgers: "List[Optional[BoundaryLedger]]" = []
 
     # -- lifecycle -----------------------------------------------------
     def __enter__(self) -> "ForkTransport":
@@ -110,17 +148,25 @@ class ForkTransport:
             for build in self._builders:
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(
-                    target=_worker_main, args=(child_conn, build), daemon=True
+                    target=_worker_main,
+                    args=(child_conn, build, self._ledger_on),
+                    daemon=True,
                 )
                 proc.start()
                 child_conn.close()
                 self._procs.append(proc)
                 self._conns.append(parent_conn)
+                if self._ledger_on:
+                    from ..race.ledger import BoundaryLedger
+
+                    self._ledgers.append(BoundaryLedger())
+                else:
+                    self._ledgers.append(None)
             # Each worker acks (or reports a build failure) exactly once.
-            for conn in self._conns:
-                self._recv(conn)
+            for conn, ledger in zip(self._conns, self._ledgers):
+                self._recv(conn, ledger)
         except BaseException:
-            self._shutdown()
+            self._shutdown(verify=False)
             raise
         return self
 
@@ -130,13 +176,25 @@ class ForkTransport:
         exc: Optional[BaseException],
         tb: Optional[TracebackType],
     ) -> None:
-        self._shutdown()
+        # Only cross-check the ledgers on a clean exit: an in-flight
+        # exception already explains any stream divergence.
+        self._shutdown(verify=exc_type is None)
 
-    def _shutdown(self) -> None:
-        for conn in self._conns:
+    def _shutdown(self, verify: bool = False) -> None:
+        worker_digests: "Dict[int, object]" = {}
+        for shard_id, (conn, ledger) in enumerate(
+            zip(self._conns, self._ledgers)
+        ):
             try:
-                conn.send(("exit",))
-            except (OSError, ValueError):
+                command = ("exit",)
+                if ledger is not None:
+                    ledger.note_sent(command)
+                conn.send(command)
+                if ledger is not None and verify:
+                    status, value = conn.recv()
+                    if status == "ledger":
+                        worker_digests[shard_id] = value
+            except (OSError, ValueError, EOFError):
                 pass
         for proc in self._procs:
             proc.join(timeout=5)
@@ -148,25 +206,52 @@ class ForkTransport:
                 conn.close()
             except OSError:  # pragma: no cover
                 pass
+        ledgers = self._ledgers
         self._procs = []
         self._conns = []
+        self._ledgers = []
+        if verify and self._ledger_on:
+            from ..race.ledger import check_ledgers
+
+            for shard_id, ledger in enumerate(ledgers):
+                if ledger is None:
+                    continue
+                worker = worker_digests.get(shard_id)
+                if worker is None:
+                    raise ShardWorkerError(
+                        f"shard {shard_id} worker exited without its "
+                        f"boundary ledger -- payload streams unverified"
+                    )
+                check_ledgers(shard_id, ledger.digests(), worker)  # type: ignore[arg-type]
 
     # -- protocol ------------------------------------------------------
     @staticmethod
-    def _recv(conn: "Connection") -> object:
+    def _recv(
+        conn: "Connection", ledger: "Optional[BoundaryLedger]" = None
+    ) -> object:
         try:
-            status, value = conn.recv()
+            reply = conn.recv()
         except EOFError as exc:  # pragma: no cover - worker died
             raise ShardWorkerError("shard worker exited unexpectedly") from exc
+        if ledger is not None:
+            ledger.note_received(reply)
+        status, value = reply
         if status == "err":
             raise ShardWorkerError(f"shard worker failed:\n{value}")
         return value
 
     def _broadcast(self, commands: Sequence[tuple]) -> List[object]:
         """Send one command per worker, then collect replies in order."""
-        for conn, command in zip(self._conns, commands):
+        for conn, ledger, command in zip(
+            self._conns, self._ledgers, commands
+        ):
+            if ledger is not None:
+                ledger.note_sent(command)
             conn.send(command)
-        return [self._recv(conn) for conn in self._conns]
+        return [
+            self._recv(conn, ledger)
+            for conn, ledger in zip(self._conns, self._ledgers)
+        ]
 
     # -- transport interface (mirrors _InlineTransport) ----------------
     def begin_all(self) -> "List[ShardReport]":

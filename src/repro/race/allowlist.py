@@ -1,0 +1,70 @@
+"""Sanctioned exceptions to the simrace rules.
+
+Same contract as the simlint/simstate allowlists: every entry names one
+(rule, module) pair and must carry a written justification -- the
+checker refuses empty ones at import time.  Prefer a per-line
+``# simrace: ignore[RULE]`` for one-off sites; the allowlist is for
+modules whose *purpose* is the exception.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .rules import RACE_RULE_CODES
+
+
+@dataclass(frozen=True)
+class AllowlistEntry:
+    """One sanctioned (rule, module) pair."""
+
+    rule: str
+    #: Module path relative to the package root, e.g. "repro/sim/sharded.py".
+    module: str
+    justification: str
+
+
+ALLOWLIST: Tuple[AllowlistEntry, ...] = (
+    AllowlistEntry(
+        rule="RC001",
+        module="repro/sim/sharded.py",
+        justification=(
+            "the conservative-window coordinator itself: it owns the "
+            "transport seam and is the one module allowed to construct "
+            "ForkTransport next to its inline twin -- shard *models* "
+            "never see either transport, only the ShardRuntime protocol "
+            "the coordinator drives"
+        ),
+    ),
+)
+
+
+_VALID_CODES = RACE_RULE_CODES | {"RC000"}
+
+
+def _validate() -> None:
+    seen = set()
+    for entry in ALLOWLIST:
+        if entry.rule not in _VALID_CODES:
+            raise ValueError(f"allowlist names unknown rule {entry.rule!r}")
+        if not entry.justification.strip():
+            raise ValueError(
+                f"allowlist entry ({entry.rule}, {entry.module}) has no "
+                f"justification -- every sanctioned site must say why"
+            )
+        key = (entry.rule, entry.module)
+        if key in seen:
+            raise ValueError(f"duplicate allowlist entry {key}")
+        seen.add(key)
+
+
+_validate()
+
+
+def is_allowlisted(rule: str, module_path: str) -> bool:
+    """True if ``rule`` is sanctioned for the module at ``module_path``."""
+    return any(
+        entry.rule == rule and entry.module == module_path
+        for entry in ALLOWLIST
+    )

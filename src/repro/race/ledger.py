@@ -1,0 +1,115 @@
+"""Boundary-crossing hash ledger for the fork transport.
+
+Under ``NDPBRIDGE_SANITIZE=1`` each end of a shard worker's pipe keeps
+two running sha256 digests -- everything it sent and everything it
+received, hashed over a canonical encoding of each command/reply tuple.
+At worker shutdown the worker ships its digests back and the parent
+cross-checks::
+
+    parent.sent     == worker.received
+    parent.received == worker.sent
+
+A match *proves* both sides observed identical payload streams, in
+identical order, with identical contents -- any corruption, reordering,
+or out-of-band traffic on the pipe surfaces as a
+:class:`LedgerMismatch` instead of a silently diverged simulation.
+
+The encoding is canonical JSON (sorted keys, dataclasses by field,
+sets sorted, everything else by ``repr``) rather than raw pickle bytes:
+pickle's memo stream depends on object *identity* -- two equal strings
+pickle differently depending on whether they are the same object, and
+CPython interns small strings during unpickling -- so the sender's
+bytes and the receiver's re-pickled bytes can legitimately differ for
+equal values.  The canonical form hashes values, not identities, and is
+therefore stable across the pipe round-trip.  Stdlib-only on purpose:
+the fork transport imports this lazily without pulling in the model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Tuple
+
+__all__ = ["BoundaryLedger", "LedgerMismatch", "check_ledgers"]
+
+
+def _encode(obj: object) -> object:
+    """``json.dumps`` fallback: identity-free forms for non-JSON types."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: getattr(obj, f.name)
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, (set, frozenset)):
+        return sorted(repr(x) for x in obj)
+    if isinstance(obj, (bytes, bytearray)):
+        return obj.hex()
+    return repr(obj)
+
+
+def canonical_blob(obj: object) -> bytes:
+    """Deterministic, identity-free serialization of one message."""
+    return json.dumps(obj, sort_keys=True, default=_encode).encode()
+
+
+class LedgerMismatch(RuntimeError):
+    """The two ends of a shard pipe observed different payload streams."""
+
+
+class BoundaryLedger:
+    """Running digests of one pipe end's sent/received streams."""
+
+    def __init__(self) -> None:
+        self._sent = hashlib.sha256()
+        self._received = hashlib.sha256()
+        self.sent_count = 0
+        self.received_count = 0
+
+    def note_sent(self, obj: object) -> None:
+        self._sent.update(canonical_blob(obj))
+        self.sent_count += 1
+
+    def note_received(self, obj: object) -> None:
+        self._received.update(canonical_blob(obj))
+        self.received_count += 1
+
+    def digests(self) -> Tuple[str, str, int, int]:
+        """(sent digest, received digest, sent count, received count)."""
+        return (
+            self._sent.hexdigest(),
+            self._received.hexdigest(),
+            self.sent_count,
+            self.received_count,
+        )
+
+
+def check_ledgers(
+    shard_id: int,
+    parent: Tuple[str, str, int, int],
+    worker: Tuple[str, str, int, int],
+) -> None:
+    """Cross-check the two ends of one shard pipe; raise on mismatch.
+
+    ``parent``/``worker`` are :meth:`BoundaryLedger.digests` tuples.
+    """
+    p_sent, p_recv, p_ns, p_nr = parent
+    w_sent, w_recv, w_ns, w_nr = worker
+    problems = []
+    if (p_sent, p_ns) != (w_recv, w_nr):
+        problems.append(
+            f"parent sent {p_ns} message(s) [{p_sent[:16]}] but worker "
+            f"received {w_nr} [{w_recv[:16]}]"
+        )
+    if (p_recv, p_nr) != (w_sent, w_ns):
+        problems.append(
+            f"worker sent {w_ns} message(s) [{w_sent[:16]}] but parent "
+            f"received {p_nr} [{p_recv[:16]}]"
+        )
+    if problems:
+        raise LedgerMismatch(
+            f"shard {shard_id} boundary ledger mismatch -- the two pipe "
+            f"ends observed different payload streams: "
+            + "; ".join(problems)
+        )

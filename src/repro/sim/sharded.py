@@ -277,6 +277,12 @@ class ShardedSimulator:
         The snapshot layer (:mod:`repro.state.snapshot`) uses it to
         freeze barrier-aligned checkpoints; hooks must not mutate any
         of their arguments.
+    transport_factory:
+        Optional override for the transport: a callable taking the
+        builder list and returning an object implementing the five
+        broadcast methods (context-managed).  The race detector
+        (:mod:`repro.race.detector`) injects its interleaving-fuzzed
+        transport here; ``parallel`` is ignored when set.
     """
 
     def __init__(
@@ -293,6 +299,10 @@ class ShardedSimulator:
                 None,
             ]
         ] = None,
+        transport_factory: Optional[
+            Callable[[Sequence[Callable[[], ShardRuntime]]],
+                     "_InlineTransport"]
+        ] = None,
     ) -> None:
         self.shards = int(getattr(plan, "shards"))
         if len(builders) != self.shards:
@@ -308,6 +318,7 @@ class ShardedSimulator:
             parallel = self.shards > 1 and self._workers_available()
         self.parallel = bool(parallel)
         self.barrier_hook = barrier_hook
+        self._transport_factory = transport_factory
         self.windows = 0
         self.barriers = 0
         self.exported: Dict[Tuple[int, int], int] = {}
@@ -320,6 +331,8 @@ class ShardedSimulator:
         return default_jobs() > 1
 
     def _make_transport(self) -> "_InlineTransport":
+        if self._transport_factory is not None:
+            return self._transport_factory(self._builders)
         if self.parallel:
             from ..exec.shardpool import ForkTransport
 

@@ -1,0 +1,241 @@
+"""Runtime race detector + boundary ledger test suite.
+
+Positive property: the conservative-window engine's results are
+independent of every legal scheduling freedom -- per-shard execution
+order within a barrier and outbox accumulation order.  The detector
+fuzzes those axes with seeded interleavings and proves bit-identical
+per-shard state digests (snapshot manifests for NDP runtimes) across
+
+* shards 1/2/4, inline and forked, on ll/ht/tree (design O), and
+* the full ll/ht/tree x C/B/W/O acceptance matrix at shards 2 and 4,
+
+each under >= 5 fuzz seeds.  Negative coverage: a deliberately racy toy
+(shared mutable state across shards) is *caught* by the fuzzer, and a
+ForkTransport pipe carrying out-of-band traffic is caught by the
+boundary hash ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro.config import ConfigError, Design, scaled_config, validate_shardable
+from repro.race.detector import (
+    RaceError,
+    assert_no_races,
+    detect_races,
+    run_with_digests,
+)
+from repro.race.ledger import BoundaryLedger, LedgerMismatch, check_ledgers
+from repro.sim import Simulator
+from repro.sim.sharded import (
+    BoundaryMessage,
+    ControlDecision,
+    FixedLookaheadPlan,
+    ShardReport,
+    ShardRuntime,
+)
+
+APPS = ("ll", "ht", "tree")
+#: shard count -> smallest machine whose topology splits that way
+#: (2 ranks at 128 units; 2 channels x 2 rank groups at 256).
+UNITS_FOR = {1: 128, 2: 128, 4: 256}
+SEEDS = (1, 2, 3, 4, 5)
+SCALE = 0.05
+
+
+# ----------------------------------------------------------------------
+# property: shards x {inline, forked} x apps, >= 5 fuzz seeds
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", sorted(UNITS_FOR))
+@pytest.mark.parametrize("app", APPS)
+def test_interleavings_bit_identical_inline_and_forked(app, shards):
+    cfg = scaled_config(UNITS_FOR[shards], Design.O, seed=42)
+    report = assert_no_races(
+        app, cfg, shards=shards, seeds=SEEDS, scale=SCALE,
+        parallel_also=True,
+    )
+    # canonical + one per fuzz seed + one forked
+    assert report.runs == len(SEEDS) + 2
+    assert len(report.canonical_digests) == shards
+    assert all(len(d) == 64 for d in report.canonical_digests)
+
+
+def test_shards_three_has_no_valid_partition():
+    # The {1,2,3,4} sweep's missing point: three shards would split a
+    # rank group (128 units) or a channel pair (256 units), so the
+    # config layer rejects it before the engine ever runs.
+    for units in (128, 256):
+        cfg = scaled_config(units, Design.O, seed=42)
+        with pytest.raises(ConfigError):
+            validate_shardable(cfg, 3)
+
+
+# ----------------------------------------------------------------------
+# acceptance matrix: apps x designs x shard counts, inline fuzzing
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", (2, 4))
+@pytest.mark.parametrize("design", ("C", "B", "W", "O"))
+@pytest.mark.parametrize("app", APPS)
+def test_acceptance_matrix_bit_identical(app, design, shards):
+    cfg = scaled_config(UNITS_FOR[shards], Design(design), seed=42)
+    report = detect_races(
+        app, cfg, shards=shards, seeds=SEEDS, scale=SCALE
+    )
+    assert report.ok, "\n".join(report.mismatches)
+    assert report.runs == len(SEEDS) + 1
+
+
+# ----------------------------------------------------------------------
+# negative: a racy shard set is caught
+# ----------------------------------------------------------------------
+class _Quiet(ShardRuntime):
+    """Minimal well-behaved shard: one local event, no boundary traffic."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.sim = Simulator(max_cycles=10 ** 6)
+        self.sim.schedule_at(5, lambda: None)
+
+    def begin(self) -> ShardReport:
+        return self._report()
+
+    def run_window(
+        self, until: int, inbox: Sequence[BoundaryMessage]
+    ) -> ShardReport:
+        self.sim.run(until=until)
+        return self._report()
+
+    def apply_control(self, decision: ControlDecision) -> ShardReport:
+        return self._report()
+
+    def finalize(self) -> Dict[str, object]:
+        return {"shard": self.shard_id, "events": self.sim.events_processed}
+
+    def _report(self) -> ShardReport:
+        return ShardReport(
+            shard_id=self.shard_id,
+            now=self.sim.now,
+            next_event_time=self.sim.peek_time(),
+            events_processed=self.sim.events_processed,
+            quiescent=self.sim.peek_time() is None,
+            future_work=False,
+            finished=False,
+            outbox=(),
+        )
+
+
+class _Racy(_Quiet):
+    """Leaks cross-shard state: a class-level list shared by instances.
+
+    Each shard records its begin() turn in the shared list and bakes the
+    list into its finalize payload -- so the *execution order* of the
+    begin barrier becomes visible in the results, exactly the hazard the
+    fuzzer exists to catch.
+    """
+
+    shared: List[int] = []
+
+    def begin(self) -> ShardReport:
+        type(self).shared.append(self.shard_id)
+        return super().begin()
+
+    def finalize(self) -> Dict[str, object]:
+        payload = super().finalize()
+        payload["shared_view"] = list(type(self).shared)
+        return payload
+
+
+def _toy_digests(runtime_cls, fuzz_seed=None):
+    plan = FixedLookaheadPlan(shards=2, lookahead=10)
+    builders = [lambda s=s: runtime_cls(s) for s in range(2)]
+    _result, digests = run_with_digests(
+        builders, plan, fuzz_seed=fuzz_seed
+    )
+    return digests
+
+
+def test_clean_toy_is_interleaving_independent():
+    canonical = _toy_digests(_Quiet)
+    for fuzz_seed in SEEDS:
+        assert _toy_digests(_Quiet, fuzz_seed=fuzz_seed) == canonical
+
+
+def test_racy_toy_is_caught():
+    _Racy.shared = []
+    canonical = _toy_digests(_Racy)
+    diverged = 0
+    for fuzz_seed in SEEDS:
+        _Racy.shared = []
+        if _toy_digests(_Racy, fuzz_seed=fuzz_seed) != canonical:
+            diverged += 1
+    assert diverged > 0, (
+        "no fuzz seed flipped the begin barrier order; widen SEEDS"
+    )
+
+
+def test_fuzz_and_parallel_are_mutually_exclusive():
+    plan = FixedLookaheadPlan(shards=2, lookahead=10)
+    builders = [lambda s=s: _Quiet(s) for s in range(2)]
+    with pytest.raises(ValueError):
+        run_with_digests(builders, plan, fuzz_seed=1, parallel=True)
+
+
+# ----------------------------------------------------------------------
+# the boundary hash ledger
+# ----------------------------------------------------------------------
+def test_ledger_agrees_on_identical_streams():
+    a, b = BoundaryLedger(), BoundaryLedger()
+    for msg in (("window", 10, []), ("ok", {"x": 1})):
+        a.note_sent(msg)
+        b.note_received(msg)
+        b.note_sent(("ack",))
+        a.note_received(("ack",))
+    check_ledgers(0, a.digests(), b.digests())  # must not raise
+
+
+def test_ledger_detects_diverging_streams():
+    a, b = BoundaryLedger(), BoundaryLedger()
+    a.note_sent(("window", 10, []))
+    b.note_received(("window", 11, []))  # bit-flip in flight
+    with pytest.raises(LedgerMismatch):
+        check_ledgers(0, a.digests(), b.digests())
+
+
+def test_ledger_detects_out_of_band_traffic():
+    # A command injected past the transport's accounting: the worker
+    # hashes three received messages, the parent only hashed two sent.
+    from repro.exec.shardpool import ForkTransport
+    from repro.runtime.shards import NDPShardBuilder, resolve_shards
+    from repro.sim.partition import plan_partition
+
+    cfg = scaled_config(128, Design.O, seed=42)
+    plan = plan_partition(cfg, resolve_shards(cfg, 2))
+    builders = [
+        NDPShardBuilder(
+            app="tree", scale=SCALE, seed=7, config=cfg, plan=plan,
+            shard_id=shard_id, verify=False,
+        )
+        for shard_id in range(plan.shards)
+    ]
+    transport = ForkTransport(builders, ledger=True)
+    with pytest.raises(LedgerMismatch):
+        with transport:
+            transport.begin_all()
+            # Sneak a harmless command past the parent-side ledger.
+            transport._conns[0].send(("begin",))
+            transport._recv(transport._conns[0])
+
+
+def test_sanitized_forked_run_passes_ledger(monkeypatch):
+    monkeypatch.setenv("NDPBRIDGE_SANITIZE", "1")
+    from repro.runtime.shards import run_app_sharded
+
+    cfg = scaled_config(128, Design.O, seed=42)
+    run = run_app_sharded(
+        "tree", cfg, scale=SCALE, seed=7, shards=2, verify=False,
+        parallel=True,
+    )
+    assert run.metrics.makespan > 0

@@ -6,7 +6,7 @@ hazard in a positive fixture, (b) stay quiet under a
 variant of the same code.  Allowlisted module paths are exercised with
 a real allowlist entry.  Meta-tests assert the repository's own
 simulation tree is clean through the real CLI, and that the unified
-``python -m repro.analyze`` gate aggregates all three analyzers.
+``python -m repro.analyze`` gate aggregates all four analyzers.
 """
 
 import json
@@ -330,9 +330,9 @@ def test_cli_inventory_dump(tmp_path):
 def test_analyze_clean_on_repo_src():
     proc = _run_cli("repro.analyze", "src")
     assert proc.returncode == 0, proc.stdout + proc.stderr
-    for tool in ("simlint", "simflow", "simstate"):
+    for tool in ("simlint", "simflow", "simstate", "simrace"):
         assert f"{tool}: clean" in proc.stdout
-    assert "analyze: clean -- 3 tools" in proc.stdout
+    assert "analyze: clean -- 4 tools" in proc.stdout
 
 
 def test_analyze_exit_1_and_tool_prefix(tmp_path):
@@ -357,6 +357,6 @@ def test_analyze_merged_sarif(tmp_path):
     assert proc.returncode == 1
     report = json.loads(out.read_text())
     names = [r["tool"]["driver"]["name"] for r in report["runs"]]
-    assert names == ["simlint", "simflow", "simstate"]
+    assert names == ["simlint", "simflow", "simstate", "simrace"]
     state_run = report["runs"][2]
     assert [r["ruleId"] for r in state_run["results"]] == ["ST003"]
